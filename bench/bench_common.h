@@ -1,0 +1,52 @@
+// Shared helpers for the figure/table bench binaries.
+//
+// Every bench prints the rows/series of one paper table or figure from a
+// deterministic simulated sweep. The helpers here keep configuration
+// construction and headers consistent across binaries.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "core/stack_config.h"
+#include "node/link_simulation.h"
+#include "util/table.h"
+
+namespace wsnlink::bench {
+
+/// Common fixed seed: every bench is reproducible run-to-run.
+inline constexpr std::uint64_t kBenchSeed = 20150629;  // ICDCS'15 first day
+
+/// A mid-workload configuration to perturb per figure.
+inline core::StackConfig DefaultConfig() {
+  core::StackConfig config;
+  config.distance_m = 35.0;
+  config.pa_level = 31;
+  config.max_tries = 1;
+  config.retry_delay_ms = 0.0;
+  config.queue_capacity = 1;
+  config.pkt_interval_ms = 100.0;
+  config.payload_bytes = 110;
+  return config;
+}
+
+/// Simulation options with bench defaults (seed, packet budget).
+inline node::SimulationOptions DefaultOptions(const core::StackConfig& config,
+                                              int packets = 600) {
+  node::SimulationOptions options;
+  options.config = config;
+  options.seed = kBenchSeed;
+  options.packet_count = packets;
+  return options;
+}
+
+/// Header block naming the figure and what the paper reported.
+inline void PrintHeader(const std::string& id, const std::string& claim) {
+  std::cout << "==========================================================\n"
+            << id << "\n"
+            << "paper: " << claim << "\n"
+            << "==========================================================\n";
+}
+
+}  // namespace wsnlink::bench

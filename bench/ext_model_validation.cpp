@@ -1,0 +1,39 @@
+// Extension — wholesale model validation over a campaign slice.
+//
+// Runs a strided slice of the full Table I campaign, validates every
+// empirical model against the measurements (RMSE / bias / relative error in
+// the models' validity window), and prints the per-zone aggregate view the
+// paper's narrative is built on. This is the quantitative answer to "how
+// well do the paper's models describe this channel?".
+#include <iostream>
+
+#include "bench_common.h"
+#include "experiment/analysis.h"
+#include "experiment/campaign.h"
+
+int main() {
+  using namespace wsnlink;
+  bench::PrintHeader(
+      "Extension - campaign-wide model validation + zone statistics",
+      "Eqs. 2/3/5-8 validated against a strided Table I campaign");
+
+  experiment::CampaignOptions options;
+  options.stride = 61;  // ~790 configurations
+  options.packet_count = 200;
+  options.base_seed = bench::kBenchSeed;
+  const auto campaign = experiment::RunCampaign(options);
+  std::cout << "campaign slice: " << campaign.configurations
+            << " configurations, " << campaign.total_packets
+            << " packets\n\n";
+
+  const auto samples = experiment::ToValidationSamples(campaign.points);
+  const auto report =
+      core::models::ValidateModels(core::models::ModelSet(), samples);
+  std::cout << "model validation (SNR in [4, 28] dB):\n"
+            << report.ToString() << "\n";
+
+  const auto zones = experiment::SummariseByZone(campaign.points);
+  std::cout << "measured metrics by joint-effect zone:\n"
+            << experiment::ZoneTable(zones);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 12 — validation of the radio loss rate model (Eq. 8).
+//
+// Paper: PLR_radio = (a * l_D * exp(b * SNR))^N_maxTries with a = 0.011,
+// b = -0.145. We measure radio loss across SNR and retry budgets and
+// compare with the model; we also refit the per-attempt base from the
+// N = 1 measurements.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/fit/exponential_fit.h"
+#include "core/models/plr_model.h"
+#include "metrics/link_metrics.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wsnlink;
+  bench::PrintHeader(
+      "Fig. 12 - radio loss rate model validation",
+      "PLR_radio = (a*l_D*exp(b*SNR))^N, a = 0.011, b = -0.145");
+
+  const core::models::PlrModel model;
+  std::vector<core::fit::ScaledExpSample> base_samples;
+
+  util::TextTable table({"Ptx", "SNR[dB]", "N", "PLR measured", "PLR model"});
+  for (const int level : {7, 11, 15, 19, 23}) {
+    for (const int tries : {1, 3}) {
+      auto config = bench::DefaultConfig();
+      config.distance_m = 35.0;
+      config.pa_level = level;
+      config.payload_bytes = 110;
+      config.max_tries = tries;
+      config.pkt_interval_ms = 80.0;
+      auto options = bench::DefaultOptions(config, 900);
+      options.seed = bench::kBenchSeed + level * 17 + tries;
+      const auto result = node::RunLinkSimulation(options);
+      const auto m = metrics::ComputeMetrics(result, 80.0);
+      table.NewRow()
+          .Add(level)
+          .Add(result.mean_snr_db, 1)
+          .Add(tries)
+          .Add(m.plr_radio, 4)
+          .Add(model.RadioLoss(110, result.mean_snr_db, tries), 4);
+      if (tries == 1 && result.mean_snr_db > 5.0) {
+        core::fit::ScaledExpSample s;
+        s.payload_bytes = 110.0;
+        s.snr_db = result.mean_snr_db;
+        s.value = m.plr_radio;
+        base_samples.push_back(s);
+      }
+    }
+  }
+  std::cout << table;
+
+  const auto fit = core::fit::FitScaledExponential(base_samples);
+  if (fit) {
+    std::cout << "\nrefit of the per-attempt base from N=1 data:  a = "
+              << util::FormatDouble(fit->coefficients.a, 4)
+              << "  b = " << util::FormatDouble(fit->coefficients.b, 3)
+              << "   (paper: a = 0.011, b = -0.145)\n";
+  }
+  return 0;
+}

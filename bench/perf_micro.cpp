@@ -1,0 +1,91 @@
+// Microbenchmarks of the library itself (google-benchmark): event-kernel
+// throughput, channel sampling, full-stack packet rate, model evaluation
+// and optimizer sweep rates. These characterise the *simulator*, not the
+// paper's system — they bound how big a campaign is practical.
+#include <benchmark/benchmark.h>
+
+#include "channel/channel.h"
+#include "core/models/model_set.h"
+#include "core/opt/config_space.h"
+#include "core/opt/epsilon_constraint.h"
+#include "node/link_simulation.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace wsnlink;
+
+void BM_EventKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (int i = 0; i < 10'000; ++i) {
+      simulator.Schedule(i, [] {});
+    }
+    benchmark::DoNotOptimize(simulator.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventKernel);
+
+void BM_ChannelTransmit(benchmark::State& state) {
+  channel::ChannelConfig config;
+  config.distance_m = 25.0;
+  channel::Channel channel(config, util::Rng(1));
+  sim::Time t = 0;
+  for (auto _ : state) {
+    t += 1000;
+    benchmark::DoNotOptimize(channel.Transmit(0.0, 129, t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelTransmit);
+
+void BM_FullStackPackets(benchmark::State& state) {
+  node::SimulationOptions options;
+  options.config.distance_m = 25.0;
+  options.config.pa_level = 19;
+  options.config.max_tries = 3;
+  options.config.queue_capacity = 10;
+  options.config.pkt_interval_ms = 50.0;
+  options.config.payload_bytes = 80;
+  options.packet_count = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    benchmark::DoNotOptimize(node::RunLinkSimulation(options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullStackPackets)->Arg(500)->Arg(2000);
+
+void BM_ModelPrediction(benchmark::State& state) {
+  const core::models::ModelSet models;
+  core::StackConfig config;
+  config.distance_m = 30.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models.Predict(config));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelPrediction);
+
+void BM_EpsilonConstraintSweep(benchmark::State& state) {
+  const core::models::ModelSet models;
+  auto space = core::opt::ConfigSpace::PaperTableI();
+  space.distances_m = {25.0};  // one distance: 8064 configs
+  core::opt::Problem problem;
+  problem.objective = core::opt::Metric::kGoodput;
+  problem.constraints.push_back(
+      core::opt::AtMost(core::opt::Metric::kEnergy, 0.3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::opt::SolveEpsilonConstraint(models, space, problem));
+  }
+  state.SetItemsProcessed(state.iterations() * space.Size());
+}
+BENCHMARK(BM_EpsilonConstraintSweep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

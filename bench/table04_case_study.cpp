@@ -1,0 +1,65 @@
+// Table IV — single-parameter tuning vs joint multi-layer tuning on the
+// case-study link (Sec. VIII-C).
+//
+// Paper (reconstructed rows; source table partially garbled by OCR):
+//   [11]-tuning power:        Ptx=31 lD=114 N=1 -> 15.39 kbps, 0.35 uJ/bit
+//   [6]-tuning retransmission Ptx=23 lD=114 N=8 ->  8.53 kbps, 1.81 uJ/bit
+//   [1]-minimal payload:      Ptx=23 lD=5   N=1 ->  1.49 kbps, 0.50 uJ/bit
+//   [1]-maximal payload:      Ptx=23 lD=114 N=1 -> 11.81 kbps (garbled)
+//   our work (joint):         Ptx=31 lD=68  N=3 -> 22.28 kbps, 0.24 uJ/bit
+//
+// The link: a deeply shadowed 35 m placement whose SNR reaches ~6 dB only
+// at maximum power (the paper: "SNR increases to 6 dB after the output
+// power level increases from 23 to 31").
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/models/model_set.h"
+#include "core/opt/baselines.h"
+#include "metrics/link_metrics.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wsnlink;
+  bench::PrintHeader(
+      "Table IV - single-parameter vs joint multi-layer tuning",
+      "joint tuning: ~22 kbps at ~0.24 uJ/bit, beating every single-knob "
+      "policy on both axes or dominating the trade-off");
+
+  constexpr double kCaseStudyShadowDb = -17.3;  // ~6.5 dB mean SNR at max power
+  const core::models::ModelSet models(
+      core::models::kPaperPerFit, core::models::kPaperNtriesFit,
+      core::models::kPaperPlrFit,
+      core::models::LinkQualityMap(channel::PathLossParams{}, -95.0,
+                                   kCaseStudyShadowDb));
+
+  const auto base = core::opt::CaseStudyBaseConfig(35.0);
+  const auto policies = core::opt::AllPolicies(models, base, 0.55);
+
+  util::TextTable table({"method", "Ptx", "lD[B]", "N", "goodput[kbps]",
+                         "U_eng[uJ/bit]", "goodput model", "U_eng model"});
+  for (const auto& policy : policies) {
+    node::SimulationOptions options;
+    options.config = policy.config;
+    options.packet_count = 1500;
+    options.seed = bench::kBenchSeed;
+    options.spatial_shadow_db = kCaseStudyShadowDb;
+    options.disable_temporal_shadowing = true;
+    const auto measured = metrics::MeasureConfig(options);
+    const auto predicted = models.Predict(policy.config);
+
+    table.NewRow()
+        .Add(policy.name)
+        .Add(policy.config.pa_level)
+        .Add(policy.config.payload_bytes)
+        .Add(policy.config.max_tries)
+        .Add(measured.goodput_kbps, 2)
+        .Add(measured.energy_uj_per_bit, 3)
+        .Add(predicted.max_goodput_kbps, 2)
+        .Add(predicted.energy_uj_per_bit, 3);
+  }
+  std::cout << table
+            << "\n(paper rows for reference: [11] 15.39/0.35, [6] 8.53/1.81, "
+               "[1]-min 1.49/0.50, [1]-max 11.81, ours 22.28/0.24)\n";
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Adaptive tuning example — parameter adaptation under dynamic link quality.
+//
+// Sec. III-A concludes that RSSI instability "suggests the necessity of
+// adapting to dynamic link quality for parameter tuning techniques", and
+// Sec. IV-B that "adapting the payload size to the varying link quality can
+// be an efficient way to minimize energy consumption in dynamic channel
+// conditions". This example does exactly that: a link whose quality drifts
+// between epochs (somebody moves furniture / a door closes), a static
+// configuration chosen once, and an adaptive controller that re-optimises
+// payload and power each epoch from the receiver's measured SNR using the
+// empirical models.
+#include <iostream>
+#include <vector>
+
+#include "core/models/model_set.h"
+#include "metrics/link_metrics.h"
+#include "node/link_simulation.h"
+#include "phy/cc2420.h"
+#include "phy/frame.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace wsnlink;
+
+/// One epoch of channel state: a static extra fade in dB.
+struct Epoch {
+  const char* label;
+  double extra_fade_db;
+};
+
+metrics::LinkMetrics RunEpoch(const core::StackConfig& config, double fade,
+                              std::uint64_t seed) {
+  node::SimulationOptions options;
+  options.config = config;
+  options.seed = seed;
+  options.packet_count = 700;
+  options.spatial_shadow_db = fade;
+  return metrics::MeasureConfig(options);
+}
+
+}  // namespace
+
+int main() {
+  using namespace wsnlink;
+  std::cout << "Adaptive multi-layer tuning on a drifting 25 m link\n"
+            << "(energy objective; the controller re-optimises payload and "
+               "power from measured SNR each epoch)\n\n";
+
+  const std::vector<Epoch> epochs{{"clear morning", 0.0},
+                                  {"door closed", -8.0},
+                                  {"rush hour", -14.0},
+                                  {"evening", -5.0},
+                                  {"night", +2.0}};
+
+  const core::models::ModelSet models;
+
+  // Static configuration: tuned once for the nominal (epoch-0) link using
+  // the same models, then frozen.
+  core::StackConfig static_config;
+  static_config.distance_m = 25.0;
+  static_config.pkt_interval_ms = 120.0;
+  static_config.max_tries = 3;
+  static_config.queue_capacity = 5;
+  static_config.pa_level = models.LinkQuality().MinPaLevelForSnr(
+      25.0, core::models::kEnergyMaxPayloadSnrDb);
+  if (static_config.pa_level < 0) static_config.pa_level = 31;
+  static_config.payload_bytes = phy::kMaxPayloadBytes;
+
+  util::TextTable table({"epoch", "fade[dB]", "policy", "config",
+                         "measured SNR[dB]", "energy[uJ/bit]", "loss"});
+  double static_energy_total = 0.0;
+  double adaptive_energy_total = 0.0;
+
+  core::StackConfig adaptive_config = static_config;
+  std::uint64_t seed = 100;
+  for (const auto& epoch : epochs) {
+    // --- static policy -------------------------------------------------
+    const auto static_m = RunEpoch(static_config, epoch.extra_fade_db, seed);
+    static_energy_total += static_m.energy_uj_per_bit;
+    table.NewRow()
+        .Add(epoch.label)
+        .Add(epoch.extra_fade_db, 0)
+        .Add("static")
+        .Add(static_config.ToString())
+        .Add(static_m.mean_snr_db, 1)
+        .Add(static_m.energy_uj_per_bit, 3)
+        .Add(static_m.plr_total, 3);
+
+    // --- adaptive policy ------------------------------------------------
+    // The controller reads the previous epoch's receiver SNR estimate
+    // (here: a short probe at the current adaptive config) and re-derives
+    // power + payload from the energy model, exactly the Sec. IV-C rule.
+    const auto probe = RunEpoch(adaptive_config, epoch.extra_fade_db, seed + 1);
+    const double measured_snr =
+        probe.delivered_unique > 20 ? probe.mean_snr_db : 3.0;
+
+    // SNR measured at the current level transfers to other levels by the
+    // dBm difference between levels.
+    const auto snr_at = [&](int level) {
+      return measured_snr + phy::OutputPowerDbm(level) -
+             phy::OutputPowerDbm(adaptive_config.pa_level);
+    };
+    int best_level = 31;
+    for (const int level : {3, 7, 11, 15, 19, 23, 27, 31}) {
+      if (snr_at(level) >= core::models::kEnergyMaxPayloadSnrDb) {
+        best_level = level;
+        break;
+      }
+    }
+    adaptive_config.pa_level = best_level;
+    adaptive_config.payload_bytes =
+        snr_at(best_level) >= core::models::kEnergyMaxPayloadSnrDb
+            ? phy::kMaxPayloadBytes
+            : models.Energy().OptimalPayload(snr_at(best_level), best_level);
+
+    const auto adaptive_m =
+        RunEpoch(adaptive_config, epoch.extra_fade_db, seed + 2);
+    adaptive_energy_total += adaptive_m.energy_uj_per_bit;
+    table.NewRow()
+        .Add("")
+        .Add("")
+        .Add("adaptive")
+        .Add(adaptive_config.ToString())
+        .Add(adaptive_m.mean_snr_db, 1)
+        .Add(adaptive_m.energy_uj_per_bit, 3)
+        .Add(adaptive_m.plr_total, 3);
+    seed += 10;
+  }
+  std::cout << table << "\n";
+
+  const double saving =
+      100.0 * (1.0 - adaptive_energy_total / static_energy_total);
+  std::cout << "total energy per bit across epochs: static = "
+            << util::FormatDouble(static_energy_total, 3)
+            << ", adaptive = " << util::FormatDouble(adaptive_energy_total, 3)
+            << "  (adaptive saves " << util::FormatDouble(saving, 1)
+            << "%)\n";
+  return 0;
+}

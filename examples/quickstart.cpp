@@ -1,0 +1,69 @@
+// Quickstart: simulate one configuration, predict it with the empirical
+// models, and compare measured vs predicted metrics.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "core/models/model_set.h"
+#include "metrics/link_metrics.h"
+#include "node/link_simulation.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wsnlink;
+
+  // 1. Describe the deployment: one sender-receiver pair, 20 m apart, a
+  //    sensing application emitting a 110-byte reading every 100 ms.
+  core::StackConfig config;
+  config.distance_m = 20.0;
+  config.pa_level = 19;
+  config.max_tries = 3;
+  config.retry_delay_ms = 0.0;
+  config.queue_capacity = 5;
+  config.pkt_interval_ms = 100.0;
+  config.payload_bytes = 110;
+
+  std::cout << "Configuration: " << config.ToString() << "\n";
+
+  // 2. Predict the performance with the paper's empirical models.
+  const core::models::ModelSet models;
+  const auto predicted = models.Predict(config);
+
+  // 3. Measure the same configuration on the simulated link.
+  node::SimulationOptions options;
+  options.config = config;
+  options.seed = 42;
+  options.packet_count = 2000;
+  const auto measured = metrics::MeasureConfig(options);
+
+  // 4. Compare.
+  util::TextTable table({"metric", "model prediction", "measured"});
+  table.NewRow().Add("link SNR [dB]").Add(predicted.snr_db, 1).Add("-");
+  table.NewRow().Add("PER").Add(predicted.per, 4).Add(measured.per, 4);
+  table.NewRow()
+      .Add("service time [ms]")
+      .Add(predicted.service_time_ms, 2)
+      .Add(measured.mean_service_ms, 2);
+  table.NewRow()
+      .Add("utilization rho")
+      .Add(predicted.utilization, 3)
+      .Add(measured.utilization, 3);
+  table.NewRow()
+      .Add("energy [uJ/bit]")
+      .Add(predicted.energy_uj_per_bit, 3)
+      .Add(measured.energy_uj_per_bit, 3);
+  table.NewRow()
+      .Add("delay [ms]")
+      .Add(predicted.total_delay_ms, 2)
+      .Add(measured.mean_delay_ms, 2);
+  table.NewRow()
+      .Add("loss rate")
+      .Add(predicted.plr_total, 4)
+      .Add(measured.plr_total, 4);
+  std::cout << table;
+
+  std::cout << "\n" << models.SummaryTable() << "\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "app/sink.h"
+
+namespace wsnlink::app {
+
+void PacketSink::OnDelivery(const mac::DeliveryInfo& info) {
+  ReceptionRecord record;
+  record.packet_id = info.packet_id;
+  record.payload_bytes = info.payload_bytes;
+  record.received_at = info.received_at;
+  record.rssi_dbm = info.rssi_dbm;
+  record.snr_db = info.snr_db;
+  record.lqi = info.lqi;
+
+  const bool fresh = seen_.insert(info.packet_id).second;
+  record.duplicate = !fresh;
+  if (fresh) {
+    unique_bytes_ += static_cast<std::uint64_t>(info.payload_bytes);
+    last_at_ = info.received_at;
+  } else {
+    ++duplicates_;
+  }
+
+  rssi_stats_.Add(info.rssi_dbm);
+  snr_stats_.Add(info.snr_db);
+  lqi_stats_.Add(static_cast<double>(info.lqi));
+  receptions_.push_back(record);
+}
+
+}  // namespace wsnlink::app

@@ -1,0 +1,76 @@
+// Receiver-side application sink.
+//
+// Counts unique deliveries (suppressing duplicates caused by lost ACKs),
+// accumulates goodput bytes and records per-reception channel readings —
+// the receiver mote's half of the paper's per-packet logging.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "mac/csma_mac.h"
+#include "sim/time.h"
+#include "util/stats.h"
+
+namespace wsnlink::app {
+
+/// One reception entry at the sink (duplicates included, flagged).
+struct ReceptionRecord {
+  std::uint64_t packet_id = 0;
+  int payload_bytes = 0;
+  sim::Time received_at = 0;
+  double rssi_dbm = 0.0;
+  double snr_db = 0.0;
+  int lqi = 0;
+  bool duplicate = false;
+};
+
+/// Collects deliveries; wire its OnDelivery into the link layer.
+class PacketSink {
+ public:
+  /// Handles one decoded copy.
+  void OnDelivery(const mac::DeliveryInfo& info);
+
+  /// Unique packets received.
+  [[nodiscard]] std::size_t UniqueCount() const noexcept {
+    return seen_.size();
+  }
+  /// Duplicate copies received (retransmissions of already-received data).
+  [[nodiscard]] std::uint64_t DuplicateCount() const noexcept {
+    return duplicates_;
+  }
+  /// Total unique payload bytes delivered (the goodput numerator).
+  [[nodiscard]] std::uint64_t UniquePayloadBytes() const noexcept {
+    return unique_bytes_;
+  }
+  /// Time of the last unique delivery (0 if none).
+  [[nodiscard]] sim::Time LastDeliveryAt() const noexcept { return last_at_; }
+
+  [[nodiscard]] const std::vector<ReceptionRecord>& Receptions() const noexcept {
+    return receptions_;
+  }
+
+  /// RSSI / SNR / LQI statistics over all decoded copies.
+  [[nodiscard]] const util::RunningStats& RssiStats() const noexcept {
+    return rssi_stats_;
+  }
+  [[nodiscard]] const util::RunningStats& SnrStats() const noexcept {
+    return snr_stats_;
+  }
+  [[nodiscard]] const util::RunningStats& LqiStats() const noexcept {
+    return lqi_stats_;
+  }
+
+ private:
+  std::unordered_set<std::uint64_t> seen_;
+  std::vector<ReceptionRecord> receptions_;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t unique_bytes_ = 0;
+  sim::Time last_at_ = 0;
+  util::RunningStats rssi_stats_;
+  util::RunningStats snr_stats_;
+  util::RunningStats lqi_stats_;
+};
+
+}  // namespace wsnlink::app

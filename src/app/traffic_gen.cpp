@@ -1,0 +1,40 @@
+#include "app/traffic_gen.h"
+
+#include <stdexcept>
+
+#include "phy/frame.h"
+
+namespace wsnlink::app {
+
+TrafficGenerator::TrafficGenerator(sim::Simulator& simulator,
+                                   link::LinkLayer& link, TrafficParams params,
+                                   util::Rng rng)
+    : sim_(simulator), link_(link), params_(params), rng_(rng) {
+  if (params_.pkt_interval <= 0) {
+    throw std::invalid_argument("TrafficGenerator: interval must be > 0");
+  }
+  if (params_.packet_count < 1) {
+    throw std::invalid_argument("TrafficGenerator: packet count must be >= 1");
+  }
+  phy::ValidatePayloadSize(params_.payload_bytes);
+}
+
+void TrafficGenerator::Start() {
+  sim_.Schedule(0, [this] { Emit(); });
+}
+
+void TrafficGenerator::Emit() {
+  link_.Accept(next_id_++, params_.payload_bytes);
+  ++generated_;
+  if (Done()) return;
+
+  sim::Duration gap = params_.pkt_interval;
+  if (params_.poisson) {
+    gap = sim::FromSeconds(
+        rng_.Exponential(sim::ToSeconds(params_.pkt_interval)));
+    if (gap < 1) gap = 1;
+  }
+  sim_.Schedule(gap, [this] { Emit(); });
+}
+
+}  // namespace wsnlink::app

@@ -1,0 +1,46 @@
+#include "channel/interferer.h"
+
+#include <stdexcept>
+
+namespace wsnlink::channel {
+
+InterfererProcess::InterfererProcess(InterfererParams params, util::Rng rng)
+    : params_(params), rng_(rng), enabled_(params.duty_cycle > 0.0) {
+  if (params_.duty_cycle < 0.0 || params_.duty_cycle >= 1.0) {
+    throw std::invalid_argument("InterfererProcess: duty cycle must be in [0, 1)");
+  }
+  if (enabled_ && params_.frame_duration <= 0) {
+    throw std::invalid_argument("InterfererProcess: frame duration must be > 0");
+  }
+}
+
+void InterfererProcess::AdvanceTo(sim::Time t) {
+  // Mean gap g solves  frame / (frame + g) = duty  =>  g = frame*(1-d)/d.
+  const double frame_s = sim::ToSeconds(params_.frame_duration);
+  const double mean_gap_s =
+      frame_s * (1.0 - params_.duty_cycle) / params_.duty_cycle;
+  if (!started_) {
+    frame_start_ = sim::FromSeconds(rng_.Exponential(mean_gap_s));
+    frame_end_ = frame_start_ + params_.frame_duration;
+    started_ = true;
+  }
+  while (frame_end_ < t) {
+    frame_start_ = frame_end_ + sim::FromSeconds(rng_.Exponential(mean_gap_s));
+    frame_end_ = frame_start_ + params_.frame_duration;
+  }
+}
+
+bool InterfererProcess::ActiveAt(sim::Time t) { return ActiveDuring(t, t); }
+
+bool InterfererProcess::ActiveDuring(sim::Time start, sim::Time end) {
+  if (!enabled_) return false;
+  if (start > end) {
+    throw std::invalid_argument("InterfererProcess: start must be <= end");
+  }
+  AdvanceTo(start);
+  // The current window is the first one ending at/after `start`; it
+  // overlaps [start, end] iff it begins before `end`.
+  return frame_start_ <= end;
+}
+
+}  // namespace wsnlink::channel

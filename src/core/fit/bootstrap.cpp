@@ -1,0 +1,54 @@
+#include "core/fit/bootstrap.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace wsnlink::core::fit {
+
+std::optional<BootstrapFitResult> BootstrapScaledExponential(
+    std::span<const ScaledExpSample> samples, util::Rng rng,
+    const BootstrapOptions& options) {
+  if (options.replicates < 2) {
+    throw std::invalid_argument("Bootstrap: need at least 2 replicates");
+  }
+  if (options.confidence <= 0.0 || options.confidence >= 1.0) {
+    throw std::invalid_argument("Bootstrap: confidence must be in (0, 1)");
+  }
+
+  const auto point = FitScaledExponential(samples);
+  if (!point) return std::nullopt;
+
+  std::vector<double> a_values;
+  std::vector<double> b_values;
+  a_values.reserve(static_cast<std::size_t>(options.replicates));
+  b_values.reserve(static_cast<std::size_t>(options.replicates));
+
+  std::vector<ScaledExpSample> resampled(samples.size());
+  for (int r = 0; r < options.replicates; ++r) {
+    for (auto& slot : resampled) {
+      const auto pick = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(samples.size()) - 1));
+      slot = samples[pick];
+    }
+    const auto fit = FitScaledExponential(resampled);
+    if (!fit) continue;
+    a_values.push_back(fit->coefficients.a);
+    b_values.push_back(fit->coefficients.b);
+  }
+  if (a_values.size() < 10) return std::nullopt;
+
+  const double tail = (1.0 - options.confidence) / 2.0;
+  BootstrapFitResult result;
+  result.point = *point;
+  result.a.lo = util::Quantile(a_values, tail);
+  result.a.hi = util::Quantile(a_values, 1.0 - tail);
+  result.b.lo = util::Quantile(b_values, tail);
+  result.b.hi = util::Quantile(b_values, 1.0 - tail);
+  result.successful_replicates = static_cast<int>(a_values.size());
+  return result;
+}
+
+}  // namespace wsnlink::core::fit

@@ -1,0 +1,87 @@
+#include "core/fit/exponential_fit.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/fit/gauss_newton.h"
+#include "util/stats.h"
+
+namespace wsnlink::core::fit {
+
+std::optional<ScaledExpFitResult> FitScaledExponential(
+    std::span<const ScaledExpSample> samples) {
+  // Log-linearised initial estimate over positive samples.
+  std::vector<double> xs;
+  std::vector<double> zs;
+  for (const auto& s : samples) {
+    if (s.value > 0.0 && s.payload_bytes > 0.0) {
+      xs.push_back(s.snr_db);
+      zs.push_back(std::log(s.value / s.payload_bytes));
+    }
+  }
+  if (xs.size() < 3) return std::nullopt;
+  const auto line = util::FitLine(xs, zs);
+  if (!line) return std::nullopt;
+
+  ScaledExpFitResult result;
+  result.log_r_squared = line->r_squared;
+  result.samples_used = static_cast<int>(xs.size());
+
+  // Refine on untransformed residuals so that large-y points are not
+  // over-weighted by the log transform, and zero-y points contribute.
+  std::vector<ScaledExpSample> all(samples.begin(), samples.end());
+  const ResidualFn residuals = [&all](std::span<const double> p,
+                                      std::span<double> out) {
+    const double a = p[0];
+    const double b = p[1];
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      out[i] = a * all[i].payload_bytes * std::exp(b * all[i].snr_db) -
+               all[i].value;
+    }
+  };
+  const auto refined =
+      Minimize(residuals, {std::exp(line->intercept), line->slope}, all.size());
+
+  result.coefficients.a = refined.params[0];
+  result.coefficients.b = refined.params[1];
+  result.rmse = std::sqrt(refined.sse / static_cast<double>(all.size()));
+  return result;
+}
+
+std::optional<ExpFitResult> FitExponential(std::span<const double> xs,
+                                           std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("FitExponential: size mismatch");
+  }
+  std::vector<double> lx;
+  std::vector<double> lz;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (ys[i] > 0.0) {
+      lx.push_back(xs[i]);
+      lz.push_back(std::log(ys[i]));
+    }
+  }
+  if (lx.size() < 3) return std::nullopt;
+  const auto line = util::FitLine(lx, lz);
+  if (!line) return std::nullopt;
+
+  std::vector<double> all_x(xs.begin(), xs.end());
+  std::vector<double> all_y(ys.begin(), ys.end());
+  const ResidualFn residuals = [&all_x, &all_y](std::span<const double> p,
+                                                std::span<double> out) {
+    for (std::size_t i = 0; i < all_x.size(); ++i) {
+      out[i] = p[0] * std::exp(p[1] * all_x[i]) - all_y[i];
+    }
+  };
+  const auto refined = Minimize(
+      residuals, {std::exp(line->intercept), line->slope}, all_x.size());
+
+  ExpFitResult result;
+  result.a = refined.params[0];
+  result.b = refined.params[1];
+  result.rmse = std::sqrt(refined.sse / static_cast<double>(all_x.size()));
+  result.log_r_squared = line->r_squared;
+  return result;
+}
+
+}  // namespace wsnlink::core::fit

@@ -1,0 +1,45 @@
+// Fitted constants of the paper's empirical models.
+//
+// Each model has the scaled-exponential form  f(l_D, SNR) = a * l_D *
+// exp(b * SNR)  with (a, b) fitted to the measurement campaign. The paper
+// reports three instances (Sec. IV-B, V-B):
+//   PER        (Eq. 3): a = 0.0128, b = -0.15
+//   N_tries    (Eq. 7): extra transmissions = a * l_D * exp(b*SNR),
+//                       a = 0.02,   b = -0.18
+//   PLR_radio  (Eq. 8): per-packet radio loss = (a*l_D*exp(b*SNR))^N,
+//                       a = 0.011,  b = -0.145
+#pragma once
+
+namespace wsnlink::core::models {
+
+/// Coefficients of a scaled exponential a * l_D * exp(b * SNR).
+struct ScaledExpCoefficients {
+  double a = 0.0;
+  double b = 0.0;
+};
+
+/// Paper Eq. (3) — packet error rate per transmission attempt.
+inline constexpr ScaledExpCoefficients kPaperPerFit{0.0128, -0.15};
+
+/// Paper Eq. (7) — expected extra transmissions beyond the first.
+inline constexpr ScaledExpCoefficients kPaperNtriesFit{0.02, -0.18};
+
+/// Paper Eq. (8) — per-attempt loss base of the radio loss model.
+inline constexpr ScaledExpCoefficients kPaperPlrFit{0.011, -0.145};
+
+/// Grey-zone boundaries the paper derives from Fig. 6(d): below
+/// kGreyZoneLowDb the link is effectively dead for any payload; between
+/// kGreyZoneLowDb and kGreyZoneHighDb is the "grey zone"/high-impact zone;
+/// kLowImpactDb and above is the low-impact zone where neither SNR nor
+/// payload matters much for PER.
+inline constexpr double kGreyZoneLowDb = 5.0;
+inline constexpr double kGreyZoneHighDb = 12.0;
+inline constexpr double kLowImpactDb = 19.0;
+
+/// SNR threshold above which maximum payload is energy-optimal (Sec. IV-B).
+inline constexpr double kEnergyMaxPayloadSnrDb = 17.0;
+
+/// SNR threshold above which maximum payload maximises goodput (Sec. VIII-A).
+inline constexpr double kGoodputMaxPayloadSnrDb = 9.0;
+
+}  // namespace wsnlink::core::models

@@ -1,0 +1,31 @@
+#include "core/models/link_quality.h"
+
+#include "phy/cc2420.h"
+
+namespace wsnlink::core::models {
+
+LinkQualityMap::LinkQualityMap(channel::PathLossParams params,
+                               double noise_floor_dbm,
+                               double spatial_shadow_db)
+    : path_loss_(params),
+      noise_floor_dbm_(noise_floor_dbm),
+      spatial_shadow_db_(spatial_shadow_db) {}
+
+double LinkQualityMap::RssiDbm(int pa_level, double distance_m) const {
+  return path_loss_.MeanRssiDbm(phy::OutputPowerDbm(pa_level), distance_m) +
+         spatial_shadow_db_;
+}
+
+double LinkQualityMap::SnrDb(int pa_level, double distance_m) const {
+  return RssiDbm(pa_level, distance_m) - noise_floor_dbm_;
+}
+
+int LinkQualityMap::MinPaLevelForSnr(double distance_m,
+                                     double target_snr_db) const {
+  for (const auto& entry : phy::PaLevels()) {
+    if (SnrDb(entry.level, distance_m) >= target_snr_db) return entry.level;
+  }
+  return -1;
+}
+
+}  // namespace wsnlink::core::models

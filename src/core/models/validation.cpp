@@ -1,0 +1,97 @@
+#include "core/models/validation.h"
+
+#include <cmath>
+
+#include "util/table.h"
+
+namespace wsnlink::core::models {
+
+namespace {
+
+/// Streaming accumulator of prediction errors.
+class ErrorAcc {
+ public:
+  explicit ErrorAcc(std::string name) : name_(std::move(name)) {}
+
+  void Add(double predicted, double measured) {
+    if (!std::isfinite(predicted)) return;
+    const double err = predicted - measured;
+    sum_sq_ += err * err;
+    sum_ += err;
+    if (std::abs(measured) > 1e-6) {
+      sum_rel_ += std::abs(err) / std::abs(measured);
+      ++rel_count_;
+    }
+    ++count_;
+  }
+
+  [[nodiscard]] MetricValidation Finish() const {
+    MetricValidation v;
+    v.metric = name_;
+    v.samples = count_;
+    if (count_ > 0) {
+      v.rmse = std::sqrt(sum_sq_ / static_cast<double>(count_));
+      v.bias = sum_ / static_cast<double>(count_);
+    }
+    if (rel_count_ > 0) {
+      v.mean_relative_error = sum_rel_ / static_cast<double>(rel_count_);
+    }
+    return v;
+  }
+
+ private:
+  std::string name_;
+  std::size_t count_ = 0;
+  std::size_t rel_count_ = 0;
+  double sum_sq_ = 0.0;
+  double sum_ = 0.0;
+  double sum_rel_ = 0.0;
+};
+
+}  // namespace
+
+ValidationReport ValidateModels(const ModelSet& models,
+                                std::span<const ValidationSample> samples,
+                                double min_snr_db, double max_snr_db) {
+  ErrorAcc per("PER (Eq.3)");
+  ErrorAcc service("T_service (Eq.5-6) [ms]");
+  ErrorAcc energy("U_eng (Eq.2) [uJ/bit]");
+  ErrorAcc plr("PLR_radio (Eq.8)");
+  ErrorAcc rho("utilization rho");
+
+  for (const auto& s : samples) {
+    if (s.mean_snr_db < min_snr_db || s.mean_snr_db > max_snr_db) continue;
+    const auto p = models.PredictAtSnr(s.config, s.mean_snr_db);
+    per.Add(p.per, s.measured_per);
+    service.Add(p.service_time_ms, s.measured_service_ms);
+    if (s.has_energy) {
+      energy.Add(p.energy_uj_per_bit, s.measured_energy_uj_per_bit);
+    }
+    plr.Add(p.plr_radio, s.measured_plr_radio);
+    rho.Add(p.utilization, s.measured_utilization);
+  }
+
+  ValidationReport report;
+  report.per = per.Finish();
+  report.service_time = service.Finish();
+  report.energy = energy.Finish();
+  report.plr_radio = plr.Finish();
+  report.utilization = rho.Finish();
+  return report;
+}
+
+std::string ValidationReport::ToString() const {
+  util::TextTable table({"model", "samples", "RMSE", "bias", "mean rel err"});
+  for (const auto* v :
+       {&per, &service_time, &energy, &plr_radio, &utilization}) {
+    table.NewRow()
+        .Add(v->metric)
+        .Add(static_cast<unsigned long>(v->samples))
+        .Add(v->rmse, 4)
+        .Add(v->bias, 4)
+        .Add(v->mean_relative_error, 3);
+  }
+  return table.ToString();
+}
+
+}  // namespace wsnlink::core::models

@@ -1,0 +1,66 @@
+// Model-vs-measurement validation over a campaign dataset.
+//
+// The paper validates each empirical model against its measurements
+// (Figs. 11-12's fits, Table II's comparisons). This module runs the same
+// validation wholesale over a summary dataset: for every swept
+// configuration it compares the model-predicted metric vector with the
+// measured one and reports error statistics, per metric and per SNR zone.
+// It is how one answers "how good are the paper's models on *this*
+// channel?" quantitatively.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/models/model_set.h"
+
+namespace wsnlink::core::models {
+
+/// Error statistics of one metric over a dataset slice.
+struct MetricValidation {
+  std::string metric;
+  std::size_t samples = 0;
+  double rmse = 0.0;
+  /// Mean of (predicted - measured): positive = model pessimistic for
+  /// lower-is-better metrics.
+  double bias = 0.0;
+  /// Mean absolute relative error over samples with measured value > eps.
+  double mean_relative_error = 0.0;
+};
+
+/// Inputs for one validation sample (decoupled from experiment::SweepPoint
+/// so core does not depend on the experiment layer).
+struct ValidationSample {
+  StackConfig config;
+  double mean_snr_db = 0.0;
+  double measured_per = 0.0;
+  double measured_service_ms = 0.0;
+  double measured_energy_uj_per_bit = 0.0;
+  double measured_goodput_kbps = 0.0;
+  double measured_plr_radio = 0.0;
+  double measured_utilization = 0.0;
+  /// Samples where nothing was delivered carry no energy observation.
+  bool has_energy = false;
+};
+
+/// Full validation report.
+struct ValidationReport {
+  MetricValidation per;
+  MetricValidation service_time;
+  MetricValidation energy;
+  MetricValidation plr_radio;
+  MetricValidation utilization;
+
+  /// Renders the report as an aligned text table.
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Validates the model set against measured samples. Samples whose SNR
+/// falls outside [min_snr_db, max_snr_db] (the models' validity region)
+/// are skipped.
+[[nodiscard]] ValidationReport ValidateModels(
+    const ModelSet& models, std::span<const ValidationSample> samples,
+    double min_snr_db = 4.0, double max_snr_db = 28.0);
+
+}  // namespace wsnlink::core::models

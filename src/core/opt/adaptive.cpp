@@ -1,0 +1,143 @@
+#include "core/opt/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "phy/cc2420.h"
+#include "phy/frame.h"
+
+namespace wsnlink::core::opt {
+
+LinkQualityEstimator::LinkQualityEstimator(double alpha, double loss_step_db,
+                                           double floor_db)
+    : alpha_(alpha), loss_step_db_(loss_step_db), floor_db_(floor_db) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("LinkQualityEstimator: alpha must be in (0, 1]");
+  }
+  if (loss_step_db < 0.0) {
+    throw std::invalid_argument("LinkQualityEstimator: loss step must be >= 0");
+  }
+}
+
+void LinkQualityEstimator::OnReception(double snr_db) {
+  if (!has_estimate_) {
+    estimate_db_ = snr_db;
+    has_estimate_ = true;
+  } else {
+    estimate_db_ += alpha_ * (snr_db - estimate_db_);
+  }
+  ++receptions_;
+}
+
+void LinkQualityEstimator::OnLoss() {
+  ++losses_;
+  if (!has_estimate_) return;
+  estimate_db_ = std::max(floor_db_, estimate_db_ - loss_step_db_);
+}
+
+double LinkQualityEstimator::SnrDb() const {
+  if (!has_estimate_) {
+    throw std::logic_error("LinkQualityEstimator: no estimate yet");
+  }
+  return estimate_db_;
+}
+
+void LinkQualityEstimator::Reset() {
+  has_estimate_ = false;
+  estimate_db_ = 0.0;
+  receptions_ = 0;
+  losses_ = 0;
+}
+
+AdaptiveController::AdaptiveController(models::ModelSet models,
+                                       StackConfig initial,
+                                       AdaptiveControllerConfig config)
+    : models_(std::move(models)), config_(initial), policy_(config) {
+  initial.Validate();
+  if (policy_.packets_per_epoch < 1) {
+    throw std::invalid_argument("AdaptiveController: epoch must be >= 1 packet");
+  }
+}
+
+void AdaptiveController::ReportReception(double snr_db) {
+  estimator_.OnReception(snr_db);
+  ++reports_in_epoch_;
+}
+
+void AdaptiveController::ReportLoss() {
+  estimator_.OnLoss();
+  ++reports_in_epoch_;
+}
+
+StackConfig AdaptiveController::DeriveConfig(double snr_db,
+                                             int at_level) const {
+  // SNR transfers across power levels by the output-power delta.
+  const double at_dbm = phy::OutputPowerDbm(at_level);
+  const auto snr_at = [&](int level) {
+    return snr_db + phy::OutputPowerDbm(level) - at_dbm;
+  };
+
+  StackConfig best = config_;
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  for (const auto& entry : phy::PaLevels()) {
+    const double snr = snr_at(entry.level);
+    StackConfig candidate = config_;
+    candidate.pa_level = entry.level;
+
+    if (policy_.objective == AdaptationObjective::kEnergy) {
+      // Sec. IV-C: payload from the energy model; retries to meet the loss
+      // ceiling (they are free energy-wise, Eq. 2).
+      candidate.payload_bytes =
+          snr >= models::kEnergyMaxPayloadSnrDb
+              ? phy::kMaxPayloadBytes
+              : models_.Energy().OptimalPayload(snr, entry.level);
+      candidate.max_tries = models_.Plr().MinTriesForLoss(
+          candidate.payload_bytes, snr, policy_.radio_loss_ceiling);
+      const auto p = models_.PredictAtSnr(candidate, snr);
+      if (p.plr_radio > policy_.radio_loss_ceiling) continue;
+      if (p.energy_uj_per_bit < best_cost) {
+        best_cost = p.energy_uj_per_bit;
+        best = candidate;
+      }
+    } else {
+      // Sec. V-C: payload from the goodput model, generous retry budget.
+      candidate.max_tries = 8;
+      candidate.payload_bytes =
+          snr >= models::kGoodputMaxPayloadSnrDb
+              ? phy::kMaxPayloadBytes
+              : models_.Goodput().OptimalPayload(snr, candidate.max_tries);
+      const auto p = models_.PredictAtSnr(candidate, snr);
+      if (policy_.energy_ceiling_uj_per_bit > 0.0 &&
+          p.energy_uj_per_bit > policy_.energy_ceiling_uj_per_bit) {
+        continue;
+      }
+      if (-p.max_goodput_kbps < best_cost) {
+        best_cost = -p.max_goodput_kbps;
+        best = candidate;
+      }
+    }
+  }
+  return best;
+}
+
+bool AdaptiveController::MaybeReconfigure() {
+  if (reports_in_epoch_ < policy_.packets_per_epoch) return false;
+  reports_in_epoch_ = 0;
+  if (!estimator_.HasEstimate()) return false;
+
+  const double snr = estimator_.SnrDb();
+  if (std::abs(snr - config_snr_db_) < policy_.min_snr_change_db) {
+    return false;
+  }
+  const StackConfig next = DeriveConfig(snr, config_.pa_level);
+  config_snr_db_ = snr;
+  if (next == config_) return false;
+  config_ = next;
+  ++reconfigs_;
+  return true;
+}
+
+}  // namespace wsnlink::core::opt

@@ -1,0 +1,90 @@
+#include "core/opt/baselines.h"
+
+#include "core/opt/epsilon_constraint.h"
+#include "phy/frame.h"
+
+namespace wsnlink::core::opt {
+
+StackConfig CaseStudyBaseConfig(double distance_m) {
+  StackConfig base;
+  base.distance_m = distance_m;
+  base.pa_level = 23;
+  base.max_tries = 1;
+  base.retry_delay_ms = 0.0;
+  base.queue_capacity = 30;
+  base.pkt_interval_ms = 1.0;  // bulk transfer: keep the stack saturated
+  base.payload_bytes = phy::kMaxPayloadBytes;
+  return base;
+}
+
+BaselineChoice TunePowerBaseline(const StackConfig& base) {
+  StackConfig config = base;
+  config.pa_level = 31;
+  return {"[11]-tuning power", config};
+}
+
+BaselineChoice TuneRetransmissionsBaseline(const StackConfig& base) {
+  StackConfig config = base;
+  config.max_tries = 8;
+  return {"[6]-tuning retransmissions", config};
+}
+
+BaselineChoice MinPayloadBaseline(const StackConfig& base) {
+  StackConfig config = base;
+  config.payload_bytes = 5;
+  return {"[1]-minimal payload", config};
+}
+
+BaselineChoice MaxPayloadBaseline(const StackConfig& base) {
+  StackConfig config = base;
+  config.payload_bytes = phy::kMaxPayloadBytes;
+  return {"[1]-maximal payload", config};
+}
+
+BaselineChoice JointTuning(const models::ModelSet& models,
+                           const StackConfig& base,
+                           double energy_budget_uj_per_bit) {
+  // Joint search over the knobs the case study varies: power, payload and
+  // retransmissions. Placement and traffic stay as deployed.
+  ConfigSpace space;
+  space.distances_m = {base.distance_m};
+  space.pa_levels = {3, 7, 11, 15, 19, 23, 27, 31};
+  space.max_tries = {1, 2, 3, 4, 5, 8};
+  space.retry_delays_ms = {base.retry_delay_ms};
+  space.queue_capacities = {base.queue_capacity};
+  space.pkt_intervals_ms = {base.pkt_interval_ms};
+  space.payload_bytes = {5,  10, 20, 30, 40, 50, 60, 68,
+                         80, 90, 100, 110, phy::kMaxPayloadBytes};
+
+  Problem problem;
+  problem.objective = Metric::kGoodput;
+  if (energy_budget_uj_per_bit > 0.0) {
+    problem.constraints.push_back(
+        AtMost(Metric::kEnergy, energy_budget_uj_per_bit));
+  }
+
+  const auto solution = SolveEpsilonConstraint(models, space, problem);
+  // The unconstrained problem is always feasible; with an over-tight energy
+  // budget fall back to the pure goodput optimum.
+  if (!solution) {
+    Problem relaxed;
+    relaxed.objective = Metric::kGoodput;
+    const auto fallback = SolveEpsilonConstraint(models, space, relaxed);
+    return {"our-work (joint, budget infeasible)", fallback->config};
+  }
+  return {"our-work (joint tuning)", solution->config};
+}
+
+std::vector<BaselineChoice> AllPolicies(const models::ModelSet& models,
+                                        const StackConfig& base,
+                                        double energy_budget_uj_per_bit) {
+  return {
+      TunePowerBaseline(base),
+      TuneRetransmissionsBaseline(base),
+      MinPayloadBaseline(base),
+      MaxPayloadBaseline(base),
+      JointTuning(models, base, energy_budget_uj_per_bit),
+  };
+}
+
+}  // namespace wsnlink::core::opt

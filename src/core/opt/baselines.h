@@ -1,0 +1,62 @@
+// Single-parameter tuning baselines from the literature (Fig. 1, Table IV).
+//
+// The paper compares its joint tuning against three representative
+// guidelines, each of which adjusts exactly one knob of a common base
+// configuration:
+//
+//   [11] (power tuning):          raise P_tx to maximum to cut loss
+//   [6]  (retransmission tuning): raise N_maxTries to recover losses
+//   [1]  (payload tuning):        shrink (or grow) l_D
+//
+// Our joint policy instead searches the whole space with the epsilon-
+// constraint optimizer. Each baseline returns the configuration it would
+// deploy for the case-study scenario so callers can evaluate all of them on
+// the *same* simulated link.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/models/model_set.h"
+#include "core/opt/config_space.h"
+#include "core/stack_config.h"
+
+namespace wsnlink::core::opt {
+
+/// A named tuning policy outcome.
+struct BaselineChoice {
+  std::string name;
+  StackConfig config;
+};
+
+/// The case-study scenario of Sec. VIII-C: bulk transfer over a grey-zone
+/// link. `base` is the deployment's default configuration before tuning
+/// (paper: P_tx = 23, l_D = 114, N = 1, saturating traffic).
+[[nodiscard]] StackConfig CaseStudyBaseConfig(double distance_m);
+
+/// [11]: tune output power only (to maximum).
+[[nodiscard]] BaselineChoice TunePowerBaseline(const StackConfig& base);
+
+/// [6]: tune retransmissions only (to a large budget of 8).
+[[nodiscard]] BaselineChoice TuneRetransmissionsBaseline(const StackConfig& base);
+
+/// [1]: tune payload only — minimal variant (5 B, for high interference).
+[[nodiscard]] BaselineChoice MinPayloadBaseline(const StackConfig& base);
+
+/// [1]: tune payload only — maximal variant (114 B, to amortise overhead).
+[[nodiscard]] BaselineChoice MaxPayloadBaseline(const StackConfig& base);
+
+/// Our work: joint multi-layer tuning via epsilon-constraint — maximise
+/// goodput subject to an energy budget, over power, payload and retries.
+/// `energy_budget_uj_per_bit` <= 0 means "no energy constraint" (pure
+/// goodput maximisation, energy reported for the trade-off plot).
+[[nodiscard]] BaselineChoice JointTuning(const models::ModelSet& models,
+                                         const StackConfig& base,
+                                         double energy_budget_uj_per_bit);
+
+/// All five policies evaluated for one scenario, in Table IV row order.
+[[nodiscard]] std::vector<BaselineChoice> AllPolicies(
+    const models::ModelSet& models, const StackConfig& base,
+    double energy_budget_uj_per_bit);
+
+}  // namespace wsnlink::core::opt

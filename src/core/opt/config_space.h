@@ -1,0 +1,50 @@
+// The discrete parameter space of the experiment (Table I).
+//
+// The paper sweeps 8064 combinations of six parameters per distance, six
+// distances in our reconstruction (~48k configurations total). A ConfigSpace
+// holds the candidate value sets, enumerates the Cartesian product in a
+// fixed order, and supports random-access indexing so sweeps can be
+// partitioned or subsampled deterministically.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/stack_config.h"
+
+namespace wsnlink::core::opt {
+
+/// A discrete multi-layer parameter space.
+struct ConfigSpace {
+  std::vector<double> distances_m;
+  std::vector<int> pa_levels;
+  std::vector<int> max_tries;
+  std::vector<double> retry_delays_ms;
+  std::vector<int> queue_capacities;
+  std::vector<double> pkt_intervals_ms;
+  std::vector<int> payload_bytes;
+
+  /// The paper's Table I reconstruction: 6*8*4*3*2*6*7 = 48384 configs.
+  [[nodiscard]] static ConfigSpace PaperTableI();
+
+  /// Number of configurations in the Cartesian product.
+  [[nodiscard]] std::size_t Size() const;
+
+  /// The i-th configuration in row-major order (distance slowest, payload
+  /// fastest — matching the paper's "all combinations per distance" runs).
+  /// Requires index < Size().
+  [[nodiscard]] StackConfig At(std::size_t index) const;
+
+  /// Calls `fn` for every configuration in order.
+  void ForEach(const std::function<void(const StackConfig&)>& fn) const;
+
+  /// Throws std::invalid_argument if any dimension is empty or any value
+  /// violates StackConfig bounds.
+  void Validate() const;
+
+  /// Per-distance sub-space size (the paper's "8064 settings per distance").
+  [[nodiscard]] std::size_t SizePerDistance() const;
+};
+
+}  // namespace wsnlink::core::opt

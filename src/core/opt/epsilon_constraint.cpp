@@ -1,0 +1,66 @@
+#include "core/opt/epsilon_constraint.h"
+
+namespace wsnlink::core::opt {
+
+Constraint AtMost(Metric metric, double bound) {
+  // For lower-is-better metrics, cost == value.
+  return Constraint{metric, bound};
+}
+
+Constraint GoodputAtLeast(double kbps) {
+  // Goodput cost is -goodput; goodput >= k  <=>  cost <= -k.
+  return Constraint{Metric::kGoodput, -kbps};
+}
+
+std::optional<Solution> SolveEpsilonConstraint(const models::ModelSet& models,
+                                               const ConfigSpace& space,
+                                               const Problem& problem) {
+  space.Validate();
+  std::optional<Solution> best;
+  std::size_t feasible = 0;
+
+  const std::size_t size = space.Size();
+  for (std::size_t i = 0; i < size; ++i) {
+    const StackConfig config = space.At(i);
+    const auto prediction =
+        problem.fixed_snr_db
+            ? models.PredictAtSnr(config, *problem.fixed_snr_db)
+            : models.Predict(config);
+
+    bool ok = true;
+    for (const auto& constraint : problem.constraints) {
+      if (MetricCost(prediction, constraint.metric) > constraint.max_cost) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    ++feasible;
+
+    const double cost = MetricCost(prediction, problem.objective);
+    if (!best || cost < MetricCost(best->prediction, problem.objective)) {
+      best = Solution{config, prediction, 0};
+    }
+  }
+  if (best) best->feasible_count = feasible;
+  return best;
+}
+
+std::vector<ParetoPoint> EvaluateSpace(const models::ModelSet& models,
+                                       const ConfigSpace& space,
+                                       std::optional<double> fixed_snr_db) {
+  space.Validate();
+  std::vector<ParetoPoint> points;
+  const std::size_t size = space.Size();
+  points.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const StackConfig config = space.At(i);
+    const auto prediction = fixed_snr_db
+                                ? models.PredictAtSnr(config, *fixed_snr_db)
+                                : models.Predict(config);
+    points.push_back(ParetoPoint{config, prediction});
+  }
+  return points;
+}
+
+}  // namespace wsnlink::core::opt

@@ -1,0 +1,159 @@
+#include "core/opt/guidelines.h"
+
+#include <algorithm>
+
+#include "phy/frame.h"
+
+namespace wsnlink::core::opt {
+
+namespace {
+
+/// Saturating traffic: back-to-back packets. The configs we emit still need
+/// a finite interval; use one that keeps the sender permanently busy.
+constexpr double kSaturatingIntervalMs = 1.0;
+
+double EffectiveInterval(const Deployment& dep) {
+  return dep.pkt_interval_ms > 0.0 ? dep.pkt_interval_ms
+                                   : kSaturatingIntervalMs;
+}
+
+}  // namespace
+
+Guidelines::Guidelines(models::ModelSet models) : models_(std::move(models)) {}
+
+Recommendation Guidelines::MinimizeEnergy(const Deployment& dep) const {
+  const auto& lq = models_.LinkQuality();
+
+  StackConfig config;
+  config.distance_m = dep.distance_m;
+  config.pkt_interval_ms = EffectiveInterval(dep);
+  config.max_tries = 3;  // retransmission does not change U_eng (Eq. 2) but
+                         // salvages packets; a moderate budget is free
+                         // energy-wise.
+  config.queue_capacity = 1;
+
+  Recommendation rec;
+  const int level =
+      lq.MinPaLevelForSnr(dep.distance_m, models::kEnergyMaxPayloadSnrDb);
+  if (level > 0) {
+    // Branch 1: we can reach the low-impact zone -> max payload, minimal
+    // sufficient power.
+    config.pa_level = level;
+    config.payload_bytes = phy::kMaxPayloadBytes;
+    rec.rationale =
+        "low-impact zone reachable: minimal sufficient power, max payload";
+  } else {
+    // Branch 2: even max power leaves us below the threshold -> max power
+    // and the model's energy-optimal payload for the achievable SNR.
+    config.pa_level = 31;
+    const double snr = lq.SnrDb(31, dep.distance_m);
+    config.payload_bytes = models_.Energy().OptimalPayload(snr, 31);
+    rec.rationale =
+        "grey zone at max power: payload shrunk to model optimum";
+  }
+  rec.config = config;
+  rec.predicted = models_.Predict(config);
+  return rec;
+}
+
+Recommendation Guidelines::MaximizeGoodput(const Deployment& dep) const {
+  const auto& lq = models_.LinkQuality();
+
+  StackConfig config;
+  config.distance_m = dep.distance_m;
+  config.pkt_interval_ms = kSaturatingIntervalMs;  // max goodput saturates
+  config.queue_capacity = 30;
+  config.max_tries = 8;  // Sec. V-C: large budget helps whenever retrans-
+                         // mission reduces loss.
+  config.retry_delay_ms = 0.0;
+
+  Recommendation rec;
+  // Best energy/goodput trade-off power: ~7 dB above the grey-zone border
+  // (Sec. V-C). If unreachable, use maximum power.
+  int level = lq.MinPaLevelForSnr(dep.distance_m, models::kLowImpactDb);
+  if (level < 0) level = 31;
+  config.pa_level = level;
+  const double snr = lq.SnrDb(level, dep.distance_m);
+
+  if (snr >= models::kGoodputMaxPayloadSnrDb) {
+    config.payload_bytes = phy::kMaxPayloadBytes;
+    rec.rationale = "outside grey zone: max payload, large retry budget";
+  } else {
+    config.payload_bytes =
+        models_.Goodput().OptimalPayload(snr, config.max_tries);
+    rec.rationale = "grey zone: goodput-optimal payload from model";
+  }
+  rec.config = config;
+  rec.predicted = models_.Predict(config);
+  return rec;
+}
+
+Recommendation Guidelines::MinimizeDelay(const Deployment& dep) const {
+  const auto& lq = models_.LinkQuality();
+
+  StackConfig config;
+  config.distance_m = dep.distance_m;
+  config.pkt_interval_ms = EffectiveInterval(dep);
+  config.queue_capacity = 1;   // queueing is the delay killer (Fig. 15)
+  config.retry_delay_ms = 0.0; // retry delay directly inflates service time
+  config.pa_level = 31;        // highest SNR -> fewest retransmissions
+
+  const double snr = lq.SnrDb(31, dep.distance_m);
+  // Small frames have the smallest service time; but overly tiny payloads
+  // waste delay per *information* bit. The guideline keeps the payload
+  // moderate and bounds tries by stability.
+  config.payload_bytes = std::min(50, phy::kMaxPayloadBytes);
+  const int stable = models_.Delay().MaxStableTries(
+      config.payload_bytes, snr, config.retry_delay_ms,
+      config.pkt_interval_ms);
+  config.max_tries = std::max(1, stable);
+
+  Recommendation rec;
+  rec.config = config;
+  rec.predicted = models_.Predict(config);
+  rec.rationale = stable >= 1
+                      ? "rho < 1 maintained; queueing delay avoided"
+                      : "link saturated even at N=1: delay bounded by Qmax=1";
+  return rec;
+}
+
+Recommendation Guidelines::MinimizeLoss(const Deployment& dep,
+                                        double radio_loss_target) const {
+  const auto& lq = models_.LinkQuality();
+
+  StackConfig config;
+  config.distance_m = dep.distance_m;
+  config.pkt_interval_ms = EffectiveInterval(dep);
+  config.pa_level = 31;       // high SNR reduces both loss kinds (VII-B)
+  config.payload_bytes = 35;  // small packets lose less per attempt
+  config.retry_delay_ms = 0.0;
+
+  const double snr = lq.SnrDb(31, dep.distance_m);
+  const int needed = models_.Plr().MinTriesForLoss(config.payload_bytes, snr,
+                                                   radio_loss_target);
+  const int stable = models_.Delay().MaxStableTries(
+      config.payload_bytes, snr, config.retry_delay_ms,
+      config.pkt_interval_ms);
+
+  Recommendation rec;
+  if (stable >= needed) {
+    config.max_tries = needed;
+    config.queue_capacity = 1;
+    rec.rationale = "loss target met with rho < 1; small queue suffices";
+  } else if (stable >= 1) {
+    // Retry budget capped by stability; some radio loss tolerated.
+    config.max_tries = stable;
+    config.queue_capacity = 1;
+    rec.rationale = "retry budget capped by rho < 1 (radio/queue trade-off)";
+  } else {
+    // Saturated regardless: buffer deeply and take the queueing delay hit.
+    config.max_tries = needed;
+    config.queue_capacity = 30;
+    rec.rationale = "rho >= 1 unavoidable: large queue absorbs overflow";
+  }
+  rec.config = config;
+  rec.predicted = models_.Predict(config);
+  return rec;
+}
+
+}  // namespace wsnlink::core::opt

@@ -1,0 +1,67 @@
+// Per-metric parameter-optimization guidelines (Secs. IV-C, V-C, VI-B,
+// VII-B), turned into executable procedures.
+//
+// Each guideline takes the fixed givens of a deployment (distance, traffic)
+// and returns the recommended settings of the tunable knobs, following the
+// paper's prose exactly:
+//
+//  * Energy (IV-C):  pick the lowest output power that lifts the link into
+//    the low-impact PER zone and use the maximum payload; if even maximum
+//    power falls short, shrink the payload to the model's energy optimum.
+//  * Goodput (V-C):  outside the grey zone use maximum payload and a large
+//    N_maxTries; inside it, use the model's goodput-optimal payload, which
+//    shrinks with SNR and grows with N_maxTries.
+//  * Delay (VI-B):   choose parameters so utilization rho < 1; large queues
+//    and retransmission budgets are delay-toxic in the grey zone.
+//  * Loss (VII-B):   pick the smallest N_maxTries that meets the radio-loss
+//    target while keeping rho < 1; if rho >= 1 is unavoidable, enlarge the
+//    queue to absorb bursts.
+#pragma once
+
+#include "core/models/model_set.h"
+#include "core/stack_config.h"
+
+namespace wsnlink::core::opt {
+
+/// Deployment givens a guideline cannot change.
+struct Deployment {
+  double distance_m = 20.0;
+  /// Application traffic (for delay/loss guidelines). <= 0 means
+  /// "saturating sender" (bulk transfer).
+  double pkt_interval_ms = 100.0;
+};
+
+/// Guideline recommendation plus the model's predicted outcome.
+struct Recommendation {
+  StackConfig config;
+  models::MetricPrediction predicted;
+  /// Short explanation of which guideline branch fired.
+  std::string rationale;
+};
+
+/// Executable forms of the paper's guidelines.
+class Guidelines {
+ public:
+  explicit Guidelines(models::ModelSet models = models::ModelSet());
+
+  /// Sec. IV-C: minimise energy per delivered bit.
+  [[nodiscard]] Recommendation MinimizeEnergy(const Deployment& dep) const;
+
+  /// Sec. V-C: maximise goodput (saturating sender assumed).
+  [[nodiscard]] Recommendation MaximizeGoodput(const Deployment& dep) const;
+
+  /// Sec. VI-B: minimise delay for the deployment's traffic.
+  [[nodiscard]] Recommendation MinimizeDelay(const Deployment& dep) const;
+
+  /// Sec. VII-B: minimise total loss for the deployment's traffic, with a
+  /// radio-loss target (default 1%).
+  [[nodiscard]] Recommendation MinimizeLoss(const Deployment& dep,
+                                            double radio_loss_target = 0.01) const;
+
+  [[nodiscard]] const models::ModelSet& Models() const noexcept { return models_; }
+
+ private:
+  models::ModelSet models_;
+};
+
+}  // namespace wsnlink::core::opt

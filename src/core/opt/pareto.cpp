@@ -1,0 +1,39 @@
+#include "core/opt/pareto.h"
+
+#include <stdexcept>
+
+namespace wsnlink::core::opt {
+
+bool Dominates(const models::MetricPrediction& a,
+               const models::MetricPrediction& b,
+               const std::vector<Metric>& metrics) {
+  if (metrics.empty()) {
+    throw std::invalid_argument("Dominates: need at least one metric");
+  }
+  bool strictly_better = false;
+  for (const Metric m : metrics) {
+    const double ca = MetricCost(a, m);
+    const double cb = MetricCost(b, m);
+    if (ca > cb) return false;
+    if (ca < cb) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<ParetoPoint> ParetoFront(std::vector<ParetoPoint> points,
+                                     const std::vector<Metric>& metrics) {
+  std::vector<ParetoPoint> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (Dominates(points[j].prediction, points[i].prediction, metrics)) {
+        dominated = true;
+      }
+    }
+    if (!dominated) front.push_back(points[i]);
+  }
+  return front;
+}
+
+}  // namespace wsnlink::core::opt

@@ -1,0 +1,34 @@
+// Pareto-front extraction over metric vectors.
+//
+// The joint-tuning result of Sec. VIII is fundamentally a Pareto statement:
+// single-parameter tuning lands strictly inside the front that joint tuning
+// traces. This module computes non-dominated sets of (config, prediction)
+// pairs for arbitrary metric subsets, in minimisation orientation.
+#pragma once
+
+#include <vector>
+
+#include "core/models/model_set.h"
+#include "core/opt/objectives.h"
+#include "core/stack_config.h"
+
+namespace wsnlink::core::opt {
+
+/// A candidate point in objective space.
+struct ParetoPoint {
+  StackConfig config;
+  models::MetricPrediction prediction;
+};
+
+/// True if `a` dominates `b` on the given metrics: no worse on all, strictly
+/// better on at least one (minimisation orientation via MetricCost).
+[[nodiscard]] bool Dominates(const models::MetricPrediction& a,
+                             const models::MetricPrediction& b,
+                             const std::vector<Metric>& metrics);
+
+/// Returns the non-dominated subset of `points` under `metrics`, preserving
+/// input order. O(n^2) — fine for the tens of thousands of configs swept.
+[[nodiscard]] std::vector<ParetoPoint> ParetoFront(
+    std::vector<ParetoPoint> points, const std::vector<Metric>& metrics);
+
+}  // namespace wsnlink::core::opt

@@ -1,0 +1,137 @@
+#include "core/opt/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace wsnlink::core::opt {
+
+namespace {
+
+/// Folds one prediction into the per-metric ranges (skipping infinities,
+/// which would make every span infinite on links with dead candidates).
+void Fold(const models::MetricPrediction& p, ParameterSensitivity& out,
+          bool first) {
+  const auto fold = [first](MetricRange& range, double value) {
+    if (!std::isfinite(value)) return;
+    if (first || value < range.min) range.min = value;
+    if (first || value > range.max) range.max = value;
+  };
+  fold(out.energy_uj_per_bit, p.energy_uj_per_bit);
+  fold(out.max_goodput_kbps, p.max_goodput_kbps);
+  fold(out.total_delay_ms, p.total_delay_ms);
+  fold(out.plr_total, p.plr_total);
+}
+
+template <typename T, typename Setter>
+ParameterSensitivity SweepOne(const models::ModelSet& models,
+                              const StackConfig& base,
+                              std::optional<double> snr_db,
+                              std::string name, const std::vector<T>& values,
+                              Setter&& set) {
+  ParameterSensitivity out;
+  out.parameter = std::move(name);
+  bool first = true;
+  std::string rendered;
+  for (const T& value : values) {
+    StackConfig candidate = base;
+    set(candidate, value);
+    const auto p = snr_db ? models.PredictAtSnr(candidate, *snr_db)
+                          : models.Predict(candidate);
+    Fold(p, out, first);
+    first = false;
+    if (!rendered.empty()) rendered += ",";
+    char buf[32];
+    if constexpr (std::is_same_v<T, double>) {
+      std::snprintf(buf, sizeof(buf), "%g", value);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%d", value);
+    }
+    rendered += buf;
+  }
+  out.values = std::move(rendered);
+  return out;
+}
+
+}  // namespace
+
+SensitivityReport AnalyzeSensitivity(const models::ModelSet& models,
+                                     const StackConfig& base,
+                                     const ConfigSpace& space,
+                                     std::optional<double> snr_db) {
+  base.Validate();
+  space.Validate();
+
+  SensitivityReport report;
+  report.base = base;
+  report.snr_db =
+      snr_db ? *snr_db
+             : models.LinkQuality().SnrDb(base.pa_level, base.distance_m);
+
+  report.parameters.push_back(SweepOne(
+      models, base, snr_db, "P_tx", space.pa_levels,
+      [](StackConfig& c, int v) { c.pa_level = v; }));
+  report.parameters.push_back(SweepOne(
+      models, base, snr_db, "l_D", space.payload_bytes,
+      [](StackConfig& c, int v) { c.payload_bytes = v; }));
+  report.parameters.push_back(SweepOne(
+      models, base, snr_db, "N_maxTries", space.max_tries,
+      [](StackConfig& c, int v) { c.max_tries = v; }));
+  report.parameters.push_back(SweepOne(
+      models, base, snr_db, "D_retry", space.retry_delays_ms,
+      [](StackConfig& c, double v) { c.retry_delay_ms = v; }));
+  report.parameters.push_back(SweepOne(
+      models, base, snr_db, "Q_max", space.queue_capacities,
+      [](StackConfig& c, int v) { c.queue_capacity = v; }));
+  report.parameters.push_back(SweepOne(
+      models, base, snr_db, "T_pkt", space.pkt_intervals_ms,
+      [](StackConfig& c, double v) { c.pkt_interval_ms = v; }));
+  return report;
+}
+
+std::string SensitivityReport::ToString() const {
+  util::TextTable table({"parameter", "values", "energy span[uJ/bit]",
+                         "goodput span[kbps]", "delay span[ms]",
+                         "loss span"});
+  for (const auto& p : parameters) {
+    table.NewRow()
+        .Add(p.parameter)
+        .Add(p.values)
+        .Add(p.energy_uj_per_bit.Span(), 3)
+        .Add(p.max_goodput_kbps.Span(), 2)
+        .Add(p.total_delay_ms.Span(), 2)
+        .Add(p.plr_total.Span(), 3);
+  }
+  return table.ToString();
+}
+
+const ParameterSensitivity& SensitivityReport::MostInfluentialFor(
+    Metric metric) const {
+  if (parameters.empty()) {
+    throw std::logic_error("SensitivityReport: empty report");
+  }
+  const auto span = [metric](const ParameterSensitivity& p) {
+    switch (metric) {
+      case Metric::kEnergy:
+        return p.energy_uj_per_bit.Span();
+      case Metric::kGoodput:
+        return p.max_goodput_kbps.Span();
+      case Metric::kDelay:
+        return p.total_delay_ms.Span();
+      case Metric::kLoss:
+        return p.plr_total.Span();
+    }
+    return 0.0;
+  };
+  const ParameterSensitivity* best = &parameters.front();
+  for (const auto& p : parameters) {
+    if (span(p) > span(*best)) best = &p;
+  }
+  return *best;
+}
+
+}  // namespace wsnlink::core::opt

@@ -1,0 +1,63 @@
+// Per-parameter sensitivity analysis: which knob matters on this link?
+//
+// The paper's central theme is that the stack parameters act *jointly* and
+// their individual leverage depends on where the link sits (the three PER
+// zones). This module quantifies that: starting from a configuration, it
+// sweeps each tunable parameter alone over its Table I candidate values and
+// reports how far each metric can move — the one-knob reachable range. Flat
+// ranges on a strong link and violent ranges in the grey zone are exactly
+// the Fig. 6(d) story, now as a diagnostic a deployment can run.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/models/model_set.h"
+#include "core/opt/config_space.h"
+#include "core/opt/objectives.h"
+
+namespace wsnlink::core::opt {
+
+/// Reachable range of one metric when one parameter alone is swept.
+struct MetricRange {
+  double min = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] double Span() const noexcept { return max - min; }
+};
+
+/// Sensitivity of all four metrics to one parameter.
+struct ParameterSensitivity {
+  std::string parameter;
+  /// Candidate values swept (rendered for the report).
+  std::string values;
+  MetricRange energy_uj_per_bit;
+  MetricRange max_goodput_kbps;
+  MetricRange total_delay_ms;
+  MetricRange plr_total;
+};
+
+/// Full report for one configuration/link.
+struct SensitivityReport {
+  StackConfig base;
+  double snr_db = 0.0;
+  std::vector<ParameterSensitivity> parameters;
+
+  /// Renders as an aligned table (one row per parameter).
+  [[nodiscard]] std::string ToString() const;
+
+  /// The parameter whose one-knob sweep moves `metric` the most.
+  [[nodiscard]] const ParameterSensitivity& MostInfluentialFor(
+      Metric metric) const;
+};
+
+/// Sweeps each tunable parameter of `base` alone over the candidate values
+/// in `space` (distance is placement, not tuned). Metrics are predicted at
+/// `snr_db` if given, otherwise at the SNR derived from placement.
+[[nodiscard]] SensitivityReport AnalyzeSensitivity(
+    const models::ModelSet& models, const StackConfig& base,
+    const ConfigSpace& space = ConfigSpace::PaperTableI(),
+    std::optional<double> snr_db = std::nullopt);
+
+}  // namespace wsnlink::core::opt

@@ -1,0 +1,64 @@
+#include "core/opt/weighted_sum.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/opt/epsilon_constraint.h"
+
+namespace wsnlink::core::opt {
+
+std::optional<WeightedSumSolution> SolveWeightedSum(
+    const models::ModelSet& models, const ConfigSpace& space,
+    const std::vector<WeightedMetric>& weights,
+    std::optional<double> fixed_snr_db) {
+  if (weights.empty()) {
+    throw std::invalid_argument("SolveWeightedSum: at least one weight required");
+  }
+  for (const auto& w : weights) {
+    if (w.weight < 0.0) {
+      throw std::invalid_argument("SolveWeightedSum: weights must be >= 0");
+    }
+  }
+
+  const auto points = EvaluateSpace(models, space, fixed_snr_db);
+  if (points.empty()) return std::nullopt;
+
+  // Per-metric normalisation bounds over finite costs.
+  struct Range {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+  };
+  std::vector<Range> ranges(weights.size());
+  for (const auto& p : points) {
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      const double c = MetricCost(p.prediction, weights[i].metric);
+      if (!std::isfinite(c)) continue;
+      ranges[i].lo = std::min(ranges[i].lo, c);
+      ranges[i].hi = std::max(ranges[i].hi, c);
+    }
+  }
+
+  std::optional<WeightedSumSolution> best;
+  for (const auto& p : points) {
+    double scalar = 0.0;
+    bool feasible = true;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      const double c = MetricCost(p.prediction, weights[i].metric);
+      if (!std::isfinite(c)) {
+        feasible = false;  // infinite cost (dead link): never optimal
+        break;
+      }
+      const double span = ranges[i].hi - ranges[i].lo;
+      const double normalised = span > 0.0 ? (c - ranges[i].lo) / span : 0.0;
+      scalar += weights[i].weight * normalised;
+    }
+    if (!feasible) continue;
+    if (!best || scalar < best->scalar_cost) {
+      best = WeightedSumSolution{p.config, p.prediction, scalar};
+    }
+  }
+  return best;
+}
+
+}  // namespace wsnlink::core::opt

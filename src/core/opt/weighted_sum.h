@@ -1,0 +1,48 @@
+// Weighted-sum scalarisation — the second classic MOP technique.
+//
+// Sec. VIII-B notes "many MOP solving techniques can be applied" to the
+// multi-objective problem; the epsilon-constraint method is implemented in
+// epsilon_constraint.*. This module adds weighted-sum scalarisation:
+// minimise sum_i w_i * normalised_cost_i over the discrete space. Costs are
+// normalised to [0, 1] by the per-metric min/max over the feasible space so
+// that weights express intent rather than unit juggling. Weighted sums can
+// only reach convex-hull points of the Pareto front; the bench comparison
+// with the epsilon-constraint solver makes that textbook caveat observable.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/models/model_set.h"
+#include "core/opt/config_space.h"
+#include "core/opt/objectives.h"
+
+namespace wsnlink::core::opt {
+
+/// One weighted objective.
+struct WeightedMetric {
+  Metric metric;
+  /// Relative weight, >= 0; weights need not sum to 1.
+  double weight = 1.0;
+};
+
+/// Result of a weighted-sum optimisation.
+struct WeightedSumSolution {
+  StackConfig config;
+  models::MetricPrediction prediction;
+  /// The achieved scalarised cost in [0, sum of weights].
+  double scalar_cost = 0.0;
+};
+
+/// Minimises the weighted sum of normalised metric costs over the space.
+///
+/// Returns nullopt when the space is empty after degenerate-metric removal
+/// (a metric whose cost is constant over the space carries no information
+/// and is ignored). Throws std::invalid_argument when no weights are given
+/// or any weight is negative.
+[[nodiscard]] std::optional<WeightedSumSolution> SolveWeightedSum(
+    const models::ModelSet& models, const ConfigSpace& space,
+    const std::vector<WeightedMetric>& weights,
+    std::optional<double> fixed_snr_db = std::nullopt);
+
+}  // namespace wsnlink::core::opt

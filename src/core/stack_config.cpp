@@ -1,0 +1,43 @@
+#include "core/stack_config.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "phy/cc2420.h"
+#include "phy/frame.h"
+
+namespace wsnlink::core {
+
+void StackConfig::Validate() const {
+  if (distance_m <= 0.0) {
+    throw std::invalid_argument("StackConfig: distance must be > 0");
+  }
+  if (!phy::IsValidPaLevel(pa_level)) {
+    throw std::invalid_argument("StackConfig: invalid PA level " +
+                                std::to_string(pa_level));
+  }
+  if (max_tries < 1) {
+    throw std::invalid_argument("StackConfig: max_tries must be >= 1");
+  }
+  if (retry_delay_ms < 0.0) {
+    throw std::invalid_argument("StackConfig: retry_delay must be >= 0");
+  }
+  if (queue_capacity < 1) {
+    throw std::invalid_argument("StackConfig: queue capacity must be >= 1");
+  }
+  if (pkt_interval_ms <= 0.0) {
+    throw std::invalid_argument("StackConfig: packet interval must be > 0");
+  }
+  phy::ValidatePayloadSize(payload_bytes);
+}
+
+std::string StackConfig::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "d=%.0fm Ptx=%d N=%d Dretry=%.0fms Qmax=%d Tpkt=%.0fms lD=%dB",
+                distance_m, pa_level, max_tries, retry_delay_ms, queue_capacity,
+                pkt_interval_ms, payload_bytes);
+  return buf;
+}
+
+}  // namespace wsnlink::core

@@ -1,0 +1,43 @@
+// The multi-layer stack parameter configuration (the paper's Table I).
+//
+// Seven knobs spanning three layers:
+//   PHY:  distance d (placement, not tunable at runtime), output power P_tx
+//   MAC:  max transmissions N_maxTries, retry delay D_retry, queue size Q_max
+//   App:  packet inter-arrival time T_pkt, payload size l_D
+//
+// A StackConfig is the unit the whole library revolves around: the
+// experiment campaign sweeps them, the empirical models predict metrics for
+// them, and the optimizer searches over them.
+#pragma once
+
+#include <string>
+
+namespace wsnlink::core {
+
+/// One full parameter configuration of the WSN link stack.
+struct StackConfig {
+  /// Sender-receiver distance in metres (PHY, placement).
+  double distance_m = 20.0;
+  /// CC2420 PA_LEVEL in {3, 7, 11, 15, 19, 23, 27, 31} (PHY, P_tx).
+  int pa_level = 31;
+  /// Maximum number of transmissions per packet, >= 1 (MAC, N_maxTries).
+  int max_tries = 3;
+  /// Delay before each retransmission in ms, >= 0 (MAC, D_retry).
+  double retry_delay_ms = 0.0;
+  /// Capacity of the queue feeding the MAC, >= 1 packets (MAC, Q_max).
+  int queue_capacity = 1;
+  /// Application packet inter-arrival time in ms, > 0 (App, T_pkt).
+  double pkt_interval_ms = 100.0;
+  /// Application payload size in bytes, 1..114 (App, l_D).
+  int payload_bytes = 110;
+
+  /// Throws std::invalid_argument describing the first violated bound.
+  void Validate() const;
+
+  /// Compact single-line rendering for logs and bench output.
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const StackConfig&, const StackConfig&) = default;
+};
+
+}  // namespace wsnlink::core

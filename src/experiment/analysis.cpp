@@ -1,0 +1,105 @@
+#include "experiment/analysis.h"
+
+#include "core/models/constants.h"
+#include "core/models/per_model.h"
+#include "util/table.h"
+
+namespace wsnlink::experiment {
+
+std::vector<core::models::ValidationSample> ToValidationSamples(
+    std::span<const SweepPoint> points) {
+  std::vector<core::models::ValidationSample> samples;
+  samples.reserve(points.size());
+  for (const auto& point : points) {
+    core::models::ValidationSample s;
+    s.config = point.config;
+    s.mean_snr_db = point.mean_snr_db;
+    s.measured_per = point.measured.per;
+    s.measured_service_ms = point.measured.mean_service_ms;
+    s.measured_energy_uj_per_bit = point.measured.energy_uj_per_bit;
+    s.measured_goodput_kbps = point.measured.goodput_kbps;
+    s.measured_plr_radio = point.measured.plr_radio;
+    s.measured_utilization = point.measured.utilization;
+    s.has_energy = point.measured.delivered_unique > 0;
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+std::vector<ZoneSummary> SummariseByZone(std::span<const SweepPoint> points) {
+  struct Acc {
+    std::size_t n = 0;
+    std::size_t n_energy = 0;
+    double per = 0.0;
+    double goodput = 0.0;
+    double energy = 0.0;
+    double plr = 0.0;
+  };
+  Acc dead;
+  Acc high;
+  Acc medium;
+  Acc low;
+
+  for (const auto& p : points) {
+    Acc* acc = nullptr;
+    if (p.mean_snr_db < core::models::kGreyZoneLowDb) {
+      acc = &dead;
+    } else {
+      switch (core::models::PerModel::ClassifyZone(p.mean_snr_db)) {
+        case core::models::PerModel::Zone::kHighImpact:
+          acc = &high;
+          break;
+        case core::models::PerModel::Zone::kMediumImpact:
+          acc = &medium;
+          break;
+        case core::models::PerModel::Zone::kLowImpact:
+          acc = &low;
+          break;
+      }
+    }
+    ++acc->n;
+    acc->per += p.measured.per;
+    acc->goodput += p.measured.goodput_kbps;
+    acc->plr += p.measured.plr_total;
+    if (p.measured.delivered_unique > 0) {
+      acc->energy += p.measured.energy_uj_per_bit;
+      ++acc->n_energy;
+    }
+  }
+
+  const auto finish = [](const char* name, const Acc& acc) {
+    ZoneSummary z;
+    z.zone = name;
+    z.configs = acc.n;
+    if (acc.n > 0) {
+      z.mean_per = acc.per / static_cast<double>(acc.n);
+      z.mean_goodput_kbps = acc.goodput / static_cast<double>(acc.n);
+      z.mean_plr_total = acc.plr / static_cast<double>(acc.n);
+    }
+    if (acc.n_energy > 0) {
+      z.mean_energy_uj_per_bit =
+          acc.energy / static_cast<double>(acc.n_energy);
+    }
+    return z;
+  };
+
+  return {finish("dead (<5 dB)", dead), finish("high (5-12 dB)", high),
+          finish("medium (12-19 dB)", medium), finish("low (>=19 dB)", low)};
+}
+
+std::string ZoneTable(std::span<const ZoneSummary> zones) {
+  util::TextTable table({"zone", "configs", "mean PER", "mean goodput[kbps]",
+                         "mean U_eng[uJ/bit]", "mean loss"});
+  for (const auto& z : zones) {
+    table.NewRow()
+        .Add(z.zone)
+        .Add(static_cast<unsigned long>(z.configs))
+        .Add(z.mean_per, 3)
+        .Add(z.mean_goodput_kbps, 2)
+        .Add(z.mean_energy_uj_per_bit, 3)
+        .Add(z.mean_plr_total, 3);
+  }
+  return table.ToString();
+}
+
+}  // namespace wsnlink::experiment

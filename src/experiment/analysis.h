@@ -1,0 +1,40 @@
+// Campaign analysis: dataset -> model validation and zone statistics.
+//
+// Bridges the experiment layer (SweepPoint datasets) to the core model
+// validation (core/models/validation.h) and provides the per-zone
+// aggregations the paper's narrative is built on.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/models/validation.h"
+#include "experiment/sweep.h"
+
+namespace wsnlink::experiment {
+
+/// Converts sweep results into model-validation samples.
+[[nodiscard]] std::vector<core::models::ValidationSample> ToValidationSamples(
+    std::span<const SweepPoint> points);
+
+/// Per-joint-effect-zone aggregate of one campaign (the Fig. 6(d) /
+/// Sec. III-B classification applied to a whole dataset).
+struct ZoneSummary {
+  std::string zone;
+  std::size_t configs = 0;
+  double mean_per = 0.0;
+  double mean_goodput_kbps = 0.0;
+  double mean_energy_uj_per_bit = 0.0;  ///< over configs that delivered
+  double mean_plr_total = 0.0;
+};
+
+/// Buckets sweep points by the PER joint-effect zone of their mean SNR
+/// (below-grey links are reported as a fourth "dead" zone).
+[[nodiscard]] std::vector<ZoneSummary> SummariseByZone(
+    std::span<const SweepPoint> points);
+
+/// Renders zone summaries as an aligned table.
+[[nodiscard]] std::string ZoneTable(std::span<const ZoneSummary> zones);
+
+}  // namespace wsnlink::experiment

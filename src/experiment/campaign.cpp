@@ -1,0 +1,40 @@
+#include "experiment/campaign.h"
+
+#include <stdexcept>
+
+#include "experiment/dataset.h"
+
+namespace wsnlink::experiment {
+
+CampaignResult RunCampaign(const CampaignOptions& options) {
+  if (options.stride < 1) {
+    throw std::invalid_argument("RunCampaign: stride must be >= 1");
+  }
+  options.space.Validate();
+
+  std::vector<core::StackConfig> configs;
+  const std::size_t size = options.space.Size();
+  configs.reserve(size / options.stride + 1);
+  for (std::size_t i = 0; i < size; i += options.stride) {
+    configs.push_back(options.space.At(i));
+  }
+
+  SweepOptions sweep;
+  sweep.base_seed = options.base_seed;
+  sweep.packet_count = options.packet_count;
+  sweep.threads = options.threads;
+  sweep.progress = options.progress;
+
+  CampaignResult result;
+  result.points = RunSweep(configs, sweep);
+  result.configurations = result.points.size();
+  result.total_packets = static_cast<std::uint64_t>(options.packet_count) *
+                         result.configurations;
+
+  if (!options.summary_csv_path.empty()) {
+    WriteSummaryCsv(options.summary_csv_path, result.points);
+  }
+  return result;
+}
+
+}  // namespace wsnlink::experiment

@@ -1,0 +1,180 @@
+#include "experiment/dataset.h"
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace wsnlink::experiment {
+
+namespace {
+
+std::string Fmt(double v) { return util::FormatDouble(v, 6); }
+
+}  // namespace
+
+std::vector<std::string> PacketCsvHeaders() {
+  return {"packet_id",     "payload_bytes",  "arrived_us",
+          "queue_depth",   "dropped_queue",  "service_start_us",
+          "completed_us",  "acked",          "delivered",
+          "tries",         "tx_energy_uj",   "first_delivered_us",
+          "rssi_dbm",      "snr_db",         "lqi"};
+}
+
+void WritePacketLogCsv(const std::string& path, const link::PacketLog& log) {
+  util::CsvWriter writer(path, PacketCsvHeaders());
+  for (const auto& p : log.Packets()) {
+    writer.WriteRow({
+        std::to_string(p.id),
+        std::to_string(p.payload_bytes),
+        std::to_string(p.arrived_at),
+        std::to_string(p.queue_depth_at_arrival),
+        p.dropped_at_queue ? "1" : "0",
+        std::to_string(p.service_start),
+        std::to_string(p.completed_at),
+        p.acked ? "1" : "0",
+        p.delivered ? "1" : "0",
+        std::to_string(p.tries),
+        Fmt(p.tx_energy_uj),
+        std::to_string(p.first_delivered_at),
+        Fmt(p.rssi_dbm),
+        Fmt(p.snr_db),
+        std::to_string(p.lqi),
+    });
+  }
+}
+
+std::vector<std::string> AttemptCsvHeaders() {
+  return {"packet_id", "attempt", "payload_bytes", "at_us",
+          "rssi_dbm",  "snr_db",  "data_received", "acked"};
+}
+
+void WriteAttemptLogCsv(const std::string& path, const link::PacketLog& log) {
+  util::CsvWriter writer(path, AttemptCsvHeaders());
+  for (const auto& a : log.Attempts()) {
+    writer.WriteRow({
+        std::to_string(a.packet_id),
+        std::to_string(a.attempt),
+        std::to_string(a.payload_bytes),
+        std::to_string(a.at),
+        Fmt(a.rssi_dbm),
+        Fmt(a.snr_db),
+        a.data_received ? "1" : "0",
+        a.acked ? "1" : "0",
+    });
+  }
+}
+
+std::vector<link::AttemptRecord> ReadAttemptLogCsv(const std::string& path) {
+  const auto data = util::ReadCsv(path);
+  const auto packet_id = data.NumericColumn("packet_id");
+  const auto attempt = data.NumericColumn("attempt");
+  const auto payload = data.NumericColumn("payload_bytes");
+  const auto at = data.NumericColumn("at_us");
+  const auto rssi = data.NumericColumn("rssi_dbm");
+  const auto snr = data.NumericColumn("snr_db");
+  const auto received = data.NumericColumn("data_received");
+  const auto acked = data.NumericColumn("acked");
+
+  std::vector<link::AttemptRecord> records(data.rows.size());
+  for (std::size_t i = 0; i < data.rows.size(); ++i) {
+    records[i].packet_id = static_cast<std::uint64_t>(packet_id[i]);
+    records[i].attempt = static_cast<int>(attempt[i]);
+    records[i].payload_bytes = static_cast<int>(payload[i]);
+    records[i].at = static_cast<sim::Time>(at[i]);
+    records[i].rssi_dbm = rssi[i];
+    records[i].snr_db = snr[i];
+    records[i].data_received = received[i] != 0.0;
+    records[i].acked = acked[i] != 0.0;
+  }
+  return records;
+}
+
+std::vector<std::string> SummaryCsvHeaders() {
+  return {"distance_m",   "pa_level",      "max_tries",     "retry_delay_ms",
+          "queue_cap",    "pkt_interval_ms", "payload_bytes", "mean_snr_db",
+          "per",          "mean_tries_acked", "goodput_kbps", "energy_uj_per_bit",
+          "mean_delay_ms", "mean_service_ms", "plr_queue",    "plr_radio",
+          "plr_total",    "utilization",   "generated",     "delivered"};
+}
+
+void WriteSummaryCsv(const std::string& path,
+                     const std::vector<SweepPoint>& points) {
+  util::CsvWriter writer(path, SummaryCsvHeaders());
+  for (const auto& point : points) {
+    const auto& c = point.config;
+    const auto& m = point.measured;
+    writer.WriteRow({
+        Fmt(c.distance_m),
+        std::to_string(c.pa_level),
+        std::to_string(c.max_tries),
+        Fmt(c.retry_delay_ms),
+        std::to_string(c.queue_capacity),
+        Fmt(c.pkt_interval_ms),
+        std::to_string(c.payload_bytes),
+        Fmt(point.mean_snr_db),
+        Fmt(m.per),
+        Fmt(m.mean_tries_acked),
+        Fmt(m.goodput_kbps),
+        Fmt(m.energy_uj_per_bit),
+        Fmt(m.mean_delay_ms),
+        Fmt(m.mean_service_ms),
+        Fmt(m.plr_queue),
+        Fmt(m.plr_radio),
+        Fmt(m.plr_total),
+        Fmt(m.utilization),
+        std::to_string(m.generated),
+        std::to_string(m.delivered_unique),
+    });
+  }
+}
+
+std::vector<SweepPoint> ReadSummaryCsv(const std::string& path) {
+  const auto data = util::ReadCsv(path);
+  const auto distance = data.NumericColumn("distance_m");
+  const auto pa = data.NumericColumn("pa_level");
+  const auto tries = data.NumericColumn("max_tries");
+  const auto retry = data.NumericColumn("retry_delay_ms");
+  const auto qcap = data.NumericColumn("queue_cap");
+  const auto interval = data.NumericColumn("pkt_interval_ms");
+  const auto payload = data.NumericColumn("payload_bytes");
+  const auto snr = data.NumericColumn("mean_snr_db");
+  const auto per = data.NumericColumn("per");
+  const auto mean_tries = data.NumericColumn("mean_tries_acked");
+  const auto goodput = data.NumericColumn("goodput_kbps");
+  const auto energy = data.NumericColumn("energy_uj_per_bit");
+  const auto delay = data.NumericColumn("mean_delay_ms");
+  const auto service = data.NumericColumn("mean_service_ms");
+  const auto plr_queue = data.NumericColumn("plr_queue");
+  const auto plr_radio = data.NumericColumn("plr_radio");
+  const auto plr_total = data.NumericColumn("plr_total");
+  const auto util_col = data.NumericColumn("utilization");
+  const auto generated = data.NumericColumn("generated");
+  const auto delivered = data.NumericColumn("delivered");
+
+  std::vector<SweepPoint> points(data.rows.size());
+  for (std::size_t i = 0; i < data.rows.size(); ++i) {
+    auto& p = points[i];
+    p.config.distance_m = distance[i];
+    p.config.pa_level = static_cast<int>(pa[i]);
+    p.config.max_tries = static_cast<int>(tries[i]);
+    p.config.retry_delay_ms = retry[i];
+    p.config.queue_capacity = static_cast<int>(qcap[i]);
+    p.config.pkt_interval_ms = interval[i];
+    p.config.payload_bytes = static_cast<int>(payload[i]);
+    p.mean_snr_db = snr[i];
+    p.measured.per = per[i];
+    p.measured.mean_tries_acked = mean_tries[i];
+    p.measured.goodput_kbps = goodput[i];
+    p.measured.energy_uj_per_bit = energy[i];
+    p.measured.mean_delay_ms = delay[i];
+    p.measured.mean_service_ms = service[i];
+    p.measured.plr_queue = plr_queue[i];
+    p.measured.plr_radio = plr_radio[i];
+    p.measured.plr_total = plr_total[i];
+    p.measured.utilization = util_col[i];
+    p.measured.generated = static_cast<int>(generated[i]);
+    p.measured.delivered_unique = static_cast<std::uint64_t>(delivered[i]);
+  }
+  return points;
+}
+
+}  // namespace wsnlink::experiment

@@ -1,0 +1,46 @@
+// Dataset export — the synthetic counterpart of the paper's public dataset.
+//
+// Two CSV schemas:
+//  * per-packet:  one row per application packet with the same metadata the
+//    motes logged (timestamps, tries, queue depth, RSSI/LQI, outcome);
+//  * per-config:  one summary row per configuration with the measured
+//    metric vector, which is what the analysis/fitting stages consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiment/sweep.h"
+#include "link/packet_log.h"
+
+namespace wsnlink::experiment {
+
+/// Column headers of the per-packet schema.
+[[nodiscard]] std::vector<std::string> PacketCsvHeaders();
+
+/// Writes one run's packet log (throws std::runtime_error on I/O failure).
+void WritePacketLogCsv(const std::string& path, const link::PacketLog& log);
+
+/// Column headers of the per-attempt schema (the trace the what-if
+/// analysis in metrics/what_if.h consumes offline).
+[[nodiscard]] std::vector<std::string> AttemptCsvHeaders();
+
+/// Writes one run's attempt log.
+void WriteAttemptLogCsv(const std::string& path, const link::PacketLog& log);
+
+/// Reads an attempt log back (inverse of WriteAttemptLogCsv).
+[[nodiscard]] std::vector<link::AttemptRecord> ReadAttemptLogCsv(
+    const std::string& path);
+
+/// Column headers of the per-config summary schema.
+[[nodiscard]] std::vector<std::string> SummaryCsvHeaders();
+
+/// Writes a sweep's summary rows.
+void WriteSummaryCsv(const std::string& path,
+                     const std::vector<SweepPoint>& points);
+
+/// Reads a summary CSV back into sweep points (inverse of WriteSummaryCsv;
+/// only the columns the fitters need are reconstructed).
+[[nodiscard]] std::vector<SweepPoint> ReadSummaryCsv(const std::string& path);
+
+}  // namespace wsnlink::experiment

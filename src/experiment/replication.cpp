@@ -1,0 +1,73 @@
+#include "experiment/replication.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "experiment/sweep.h"
+#include "util/stats.h"
+
+namespace wsnlink::experiment {
+
+namespace {
+
+ReplicatedScalar Summarise(const std::vector<double>& values) {
+  ReplicatedScalar s;
+  util::RunningStats stats;
+  for (const double v : values) stats.Add(v);
+  s.mean = stats.Mean();
+  s.stddev = stats.Count() > 1 ? stats.StdDev() : 0.0;
+  s.ci95_half_width =
+      1.96 * s.stddev / std::sqrt(static_cast<double>(stats.Count()));
+  return s;
+}
+
+}  // namespace
+
+ReplicatedMetrics MeasureReplicated(const node::SimulationOptions& options,
+                                    int replicates) {
+  if (replicates < 2) {
+    throw std::invalid_argument("MeasureReplicated: need >= 2 replicates");
+  }
+  std::vector<double> goodput;
+  std::vector<double> energy;
+  std::vector<double> delay;
+  std::vector<double> per;
+  std::vector<double> plr_total;
+  std::vector<double> plr_radio;
+  std::vector<double> plr_queue;
+  std::vector<double> utilization;
+
+  for (int r = 0; r < replicates; ++r) {
+    auto rep_options = options;
+    rep_options.seed = SweepSeed(options.seed, static_cast<std::size_t>(r));
+    const auto m = metrics::MeasureConfig(rep_options);
+    goodput.push_back(m.goodput_kbps);
+    energy.push_back(m.energy_uj_per_bit);
+    delay.push_back(m.mean_delay_ms);
+    per.push_back(m.per);
+    plr_total.push_back(m.plr_total);
+    plr_radio.push_back(m.plr_radio);
+    plr_queue.push_back(m.plr_queue);
+    utilization.push_back(m.utilization);
+  }
+
+  ReplicatedMetrics out;
+  out.replicates = replicates;
+  out.goodput_kbps = Summarise(goodput);
+  out.energy_uj_per_bit = Summarise(energy);
+  out.mean_delay_ms = Summarise(delay);
+  out.per = Summarise(per);
+  out.plr_total = Summarise(plr_total);
+  out.plr_radio = Summarise(plr_radio);
+  out.plr_queue = Summarise(plr_queue);
+  out.utilization = Summarise(utilization);
+  return out;
+}
+
+bool SignificantlyGreater(const ReplicatedScalar& a,
+                          const ReplicatedScalar& b) {
+  return a.mean - a.ci95_half_width > b.mean + b.ci95_half_width;
+}
+
+}  // namespace wsnlink::experiment

@@ -1,0 +1,50 @@
+// Replicated measurements: mean and confidence intervals across seeds.
+//
+// A single simulated run is one realisation of the channel; statements like
+// Table IV's comparisons deserve error bars. This module runs one
+// configuration under R independent seeds and reports the mean, standard
+// deviation and normal-approximation confidence half-width of every scalar
+// metric — the replication discipline a measurement study applies to its
+// own claims.
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/link_metrics.h"
+#include "node/link_simulation.h"
+
+namespace wsnlink::experiment {
+
+/// Mean / spread of one scalar metric across replicates.
+struct ReplicatedScalar {
+  double mean = 0.0;
+  double stddev = 0.0;
+  /// Half-width of the ~95% confidence interval (1.96 * stddev / sqrt(R)).
+  double ci95_half_width = 0.0;
+};
+
+/// The replicated metric vector.
+struct ReplicatedMetrics {
+  int replicates = 0;
+  ReplicatedScalar goodput_kbps;
+  ReplicatedScalar energy_uj_per_bit;
+  ReplicatedScalar mean_delay_ms;
+  ReplicatedScalar per;
+  ReplicatedScalar plr_total;
+  ReplicatedScalar plr_radio;
+  ReplicatedScalar plr_queue;
+  ReplicatedScalar utilization;
+};
+
+/// Runs `options` under `replicates` derived seeds (deterministic in
+/// options.seed) and aggregates. Requires replicates >= 2.
+[[nodiscard]] ReplicatedMetrics MeasureReplicated(
+    const node::SimulationOptions& options, int replicates);
+
+/// True when the two replicated means are separated by more than the sum
+/// of their 95% half-widths (a conservative "error bars do not overlap"
+/// test used by the comparison benches).
+[[nodiscard]] bool SignificantlyGreater(const ReplicatedScalar& a,
+                                        const ReplicatedScalar& b);
+
+}  // namespace wsnlink::experiment

@@ -1,0 +1,88 @@
+#include "experiment/sweep.h"
+
+#include <atomic>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace wsnlink::experiment {
+
+std::uint64_t SweepSeed(std::uint64_t base_seed, std::size_t index) noexcept {
+  std::uint64_t sm = base_seed ^ (0x9E3779B97F4A7C15ULL * (index + 1));
+  return util::SplitMix64(sm);
+}
+
+namespace {
+
+node::SimulationOptions MakeOptions(const core::StackConfig& config,
+                                    const SweepOptions& sweep,
+                                    std::size_t index) {
+  node::SimulationOptions options;
+  options.config = config;
+  options.seed = SweepSeed(sweep.base_seed, index);
+  options.packet_count = sweep.packet_count;
+  options.analytic_ber = sweep.analytic_ber;
+  options.disable_temporal_shadowing = sweep.disable_temporal_shadowing;
+  options.disable_interference = sweep.disable_interference;
+  return options;
+}
+
+/// Runs `fn(i)` for every i in [0, total) over a worker pool.
+void ParallelFor(std::size_t total, unsigned threads,
+                 const std::function<void(std::size_t)>& fn) {
+  unsigned workers = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  if (workers == 1 || total <= 1) {
+    for (std::size_t i = 0; i < total; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&next, total, &fn] {
+      for (std::size_t i = next.fetch_add(1); i < total;
+           i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace
+
+std::vector<SweepPoint> RunSweep(const std::vector<core::StackConfig>& configs,
+                                 const SweepOptions& options) {
+  std::vector<SweepPoint> points(configs.size());
+  std::atomic<std::size_t> done{0};
+  ParallelFor(configs.size(), options.threads, [&](std::size_t i) {
+    const auto sim_options = MakeOptions(configs[i], options, i);
+    const auto result = node::RunLinkSimulation(sim_options);
+    points[i].config = configs[i];
+    points[i].measured =
+        metrics::ComputeMetrics(result, configs[i].pkt_interval_ms);
+    points[i].mean_snr_db = result.mean_snr_db;
+    if (options.progress) {
+      options.progress(done.fetch_add(1) + 1, configs.size());
+    }
+  });
+  return points;
+}
+
+std::vector<node::SimulationResult> RunSweepRaw(
+    const std::vector<core::StackConfig>& configs,
+    const SweepOptions& options) {
+  std::vector<node::SimulationResult> results(configs.size());
+  std::atomic<std::size_t> done{0};
+  ParallelFor(configs.size(), options.threads, [&](std::size_t i) {
+    const auto sim_options = MakeOptions(configs[i], options, i);
+    results[i] = node::RunLinkSimulation(sim_options);
+    if (options.progress) {
+      options.progress(done.fetch_add(1) + 1, configs.size());
+    }
+  });
+  return results;
+}
+
+}  // namespace wsnlink::experiment

@@ -1,0 +1,58 @@
+// Parameter-sweep driver.
+//
+// Runs a list of configurations through the link simulator and collects the
+// measured metric vector for each. Runs are embarrassingly parallel (each
+// owns its simulator and RNG streams) so the driver fans out across
+// hardware threads; results are deterministic in (base_seed, config order)
+// regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/stack_config.h"
+#include "metrics/link_metrics.h"
+#include "node/link_simulation.h"
+
+namespace wsnlink::experiment {
+
+/// One sweep result.
+struct SweepPoint {
+  core::StackConfig config;
+  metrics::LinkMetrics measured;
+  /// Ground-truth mean SNR of the simulated link.
+  double mean_snr_db = 0.0;
+};
+
+/// Sweep options shared by every run.
+struct SweepOptions {
+  std::uint64_t base_seed = 1;
+  /// Packets per configuration (paper: 4500; figure benches use less).
+  int packet_count = 500;
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// Forwarded per-run simulation switches.
+  bool analytic_ber = false;
+  bool disable_temporal_shadowing = false;
+  bool disable_interference = false;
+  /// Optional progress callback (invoked from worker threads with the
+  /// number of completed runs; must be thread-safe). May be empty.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/// Seed for the i-th configuration of a sweep (exposed so single runs can
+/// be reproduced outside the sweep).
+[[nodiscard]] std::uint64_t SweepSeed(std::uint64_t base_seed,
+                                      std::size_t index) noexcept;
+
+/// Runs every configuration; the result vector parallels `configs`.
+[[nodiscard]] std::vector<SweepPoint> RunSweep(
+    const std::vector<core::StackConfig>& configs, const SweepOptions& options);
+
+/// Convenience: per-attempt logs are often needed by figure benches; this
+/// variant returns the full simulation results instead of just metrics.
+[[nodiscard]] std::vector<node::SimulationResult> RunSweepRaw(
+    const std::vector<core::StackConfig>& configs, const SweepOptions& options);
+
+}  // namespace wsnlink::experiment

@@ -1,0 +1,96 @@
+#include "link/link_layer.h"
+
+#include <stdexcept>
+
+namespace wsnlink::link {
+
+LinkLayer::LinkLayer(sim::Simulator& simulator, mac::Mac& mac,
+                     int queue_capacity)
+    : sim_(simulator), mac_(mac), queue_(queue_capacity) {
+  mac_.SetDeliveryCallback(
+      [this](const mac::DeliveryInfo& info) { OnDelivery(info); });
+  mac_.SetAttemptCallback([this](const mac::AttemptInfo& info) {
+    AttemptRecord record;
+    record.packet_id = info.packet_id;
+    record.attempt = info.attempt;
+    record.payload_bytes = info.payload_bytes;
+    record.at = info.at;
+    record.rssi_dbm = info.rssi_dbm;
+    record.snr_db = info.snr_db;
+    record.data_received = info.data_received;
+    record.acked = info.acked;
+    log_.AddAttempt(record);
+  });
+}
+
+bool LinkLayer::Accept(std::uint64_t packet_id, int payload_bytes) {
+  PacketRecord record;
+  record.id = packet_id;
+  record.payload_bytes = payload_bytes;
+  record.arrived_at = sim_.Now();
+  record.queue_depth_at_arrival = queue_.Occupancy();
+
+  QueuedPacket packet{packet_id, payload_bytes, sim_.Now()};
+  const bool accepted = queue_.Offer(packet);
+  record.dropped_at_queue = !accepted;
+
+  log_.AddPacket(record);
+  if (!accepted) return false;
+
+  open_records_[packet_id] = log_.Packets().size() - 1;
+  if (!queue_.InService()) ServeNext();
+  return true;
+}
+
+void LinkLayer::ServeNext() {
+  if (queue_.InService() || !queue_.HasWaiting()) return;
+  const QueuedPacket head = queue_.StartService();
+  in_service_id_ = head.id;
+
+  const auto it = open_records_.find(head.id);
+  if (it == open_records_.end()) {
+    throw std::logic_error("LinkLayer: serving unknown packet");
+  }
+  log_.MutablePacket(it->second).service_start = sim_.Now();
+
+  mac_.Send(head.id, head.payload_bytes,
+            [this](const mac::SendResult& result) { OnSendDone(result); });
+}
+
+void LinkLayer::OnSendDone(const mac::SendResult& result) {
+  const auto it = open_records_.find(result.packet_id);
+  if (it == open_records_.end()) {
+    throw std::logic_error("LinkLayer: completion for unknown packet");
+  }
+  PacketRecord& record = log_.MutablePacket(it->second);
+  record.completed_at = result.completed_at;
+  record.acked = result.acked;
+  record.delivered = result.delivered;
+  record.tries = result.tries;
+  record.tx_energy_uj = result.tx_energy_uj;
+  record.listen_time = result.listen_time;
+  open_records_.erase(it);
+
+  queue_.FinishService();
+  ServeNext();
+}
+
+void LinkLayer::OnDelivery(const mac::DeliveryInfo& info) {
+  const auto it = open_records_.find(info.packet_id);
+  if (it != open_records_.end()) {
+    PacketRecord& record = log_.MutablePacket(it->second);
+    if (record.first_delivered_at == kNever) {
+      record.first_delivered_at = info.received_at;
+      record.rssi_dbm = info.rssi_dbm;
+      record.snr_db = info.snr_db;
+      record.lqi = info.lqi;
+    }
+  }
+  if (on_delivery_) on_delivery_(info);
+}
+
+bool LinkLayer::Idle() const noexcept {
+  return !queue_.InService() && !queue_.HasWaiting();
+}
+
+}  // namespace wsnlink::link

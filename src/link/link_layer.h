@@ -1,0 +1,60 @@
+// Link layer: glues the transmit queue to the MAC and writes the packet log.
+//
+// The application calls Accept() per generated packet; the link layer
+// serves packets FIFO through the (single-packet-at-a-time) MAC, records the
+// full lifecycle of every packet — including queue drops — and mirrors
+// receiver-side delivery notifications into the log.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "link/packet_log.h"
+#include "link/transmit_queue.h"
+#include "mac/mac.h"
+#include "sim/simulator.h"
+
+namespace wsnlink::link {
+
+/// Sender-side link layer.
+class LinkLayer {
+ public:
+  /// Fired for every decoded copy at the receiver (after logging), so the
+  /// application sink can count deliveries.
+  using DeliveryCallback = std::function<void(const mac::DeliveryInfo&)>;
+
+  /// `simulator` and `mac` must outlive the link layer. `queue_capacity`
+  /// is the paper's Q_max (>= 1, counting the in-service slot).
+  LinkLayer(sim::Simulator& simulator, mac::Mac& mac, int queue_capacity);
+
+  /// Accepts one application packet (payload in [1, 114]). Returns false if
+  /// it was dropped at the queue.
+  bool Accept(std::uint64_t packet_id, int payload_bytes);
+
+  void SetDeliveryCallback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
+
+  /// True once every accepted packet has completed (queue empty, MAC idle).
+  [[nodiscard]] bool Idle() const noexcept;
+
+  [[nodiscard]] const PacketLog& Log() const noexcept { return log_; }
+  [[nodiscard]] PacketLog& MutableLog() noexcept { return log_; }
+  [[nodiscard]] const TransmitQueue& Queue() const noexcept { return queue_; }
+
+ private:
+  void ServeNext();
+  void OnSendDone(const mac::SendResult& result);
+  void OnDelivery(const mac::DeliveryInfo& info);
+
+  sim::Simulator& sim_;
+  mac::Mac& mac_;
+  TransmitQueue queue_;
+  PacketLog log_;
+  DeliveryCallback on_delivery_;
+
+  // Index into log_.Packets() for each unfinished packet id.
+  std::unordered_map<std::uint64_t, std::size_t> open_records_;
+  std::uint64_t in_service_id_ = 0;
+};
+
+}  // namespace wsnlink::link

@@ -1,0 +1,5 @@
+#include "link/packet_log.h"
+
+// PacketLog is header-only data; dataset serialisation lives in
+// experiment/dataset.*. This translation unit intentionally only anchors
+// the library target.

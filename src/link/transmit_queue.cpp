@@ -1,0 +1,47 @@
+#include "link/transmit_queue.h"
+
+namespace wsnlink::link {
+
+TransmitQueue::TransmitQueue(int capacity) : capacity_(capacity) {
+  if (capacity < 1) {
+    throw std::invalid_argument("TransmitQueue: capacity must be >= 1");
+  }
+}
+
+int TransmitQueue::Occupancy() const noexcept {
+  return static_cast<int>(waiting_.size()) + (in_service_ ? 1 : 0);
+}
+
+bool TransmitQueue::Full() const noexcept { return Occupancy() >= capacity_; }
+
+bool TransmitQueue::Offer(const QueuedPacket& packet) {
+  if (Full()) {
+    ++drops_;
+    return false;
+  }
+  waiting_.push_back(packet);
+  ++accepted_;
+  return true;
+}
+
+QueuedPacket TransmitQueue::StartService() {
+  if (in_service_) {
+    throw std::logic_error("TransmitQueue::StartService: already serving");
+  }
+  if (waiting_.empty()) {
+    throw std::logic_error("TransmitQueue::StartService: nothing waiting");
+  }
+  QueuedPacket head = waiting_.front();
+  waiting_.pop_front();
+  in_service_ = true;
+  return head;
+}
+
+void TransmitQueue::FinishService() {
+  if (!in_service_) {
+    throw std::logic_error("TransmitQueue::FinishService: nothing in service");
+  }
+  in_service_ = false;
+}
+
+}  // namespace wsnlink::link

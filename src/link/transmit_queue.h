@@ -1,0 +1,65 @@
+// Bounded FIFO transmit queue on top of the MAC (the paper's Q_max knob).
+//
+// Semantics: the queue holds every packet the stack has accepted but not
+// finished — the in-service packet occupies one slot. Q_max = 1 therefore
+// means "no queue": while one packet is in service, any arrival is dropped.
+// Q_max = 30 buffers 29 waiting packets behind the in-service one. Drops are
+// counted for the PLR_queue metric.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+
+#include "sim/time.h"
+
+namespace wsnlink::link {
+
+/// Entry waiting for service.
+struct QueuedPacket {
+  std::uint64_t id = 0;
+  int payload_bytes = 0;
+  sim::Time arrived_at = 0;
+};
+
+/// Bounded FIFO with an explicit in-service slot.
+class TransmitQueue {
+ public:
+  /// Requires capacity >= 1 (capacity counts the in-service slot).
+  explicit TransmitQueue(int capacity);
+
+  /// Total occupancy: waiting packets plus the in-service packet.
+  [[nodiscard]] int Occupancy() const noexcept;
+
+  /// True if an arrival right now would be dropped.
+  [[nodiscard]] bool Full() const noexcept;
+
+  /// Offers an arrival. Returns false (and counts a drop) when full.
+  bool Offer(const QueuedPacket& packet);
+
+  /// True if a packet is currently in service.
+  [[nodiscard]] bool InService() const noexcept { return in_service_; }
+
+  /// Moves the head waiting packet into service and returns it.
+  /// Requires !InService() and a non-empty waiting queue.
+  QueuedPacket StartService();
+
+  /// True if any packet is waiting (not counting in-service).
+  [[nodiscard]] bool HasWaiting() const noexcept { return !waiting_.empty(); }
+
+  /// Marks the in-service packet finished. Requires InService().
+  void FinishService();
+
+  [[nodiscard]] int Capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t Drops() const noexcept { return drops_; }
+  [[nodiscard]] std::uint64_t Accepted() const noexcept { return accepted_; }
+
+ private:
+  int capacity_;
+  std::deque<QueuedPacket> waiting_;
+  bool in_service_ = false;
+  std::uint64_t drops_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace wsnlink::link

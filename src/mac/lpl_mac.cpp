@@ -1,0 +1,200 @@
+#include "mac/lpl_mac.h"
+
+#include <stdexcept>
+
+#include "phy/cc2420.h"
+#include "phy/frame.h"
+#include "phy/timing.h"
+
+namespace wsnlink::mac {
+
+namespace {
+
+/// Gap between consecutive copies in a train: the sender's short listen
+/// window for the ACK (BoX-MAC-2 uses ~1.6 ms).
+constexpr sim::Duration kInterCopyGap = 1'600;
+
+}  // namespace
+
+LplMac::LplMac(sim::Simulator& simulator, channel::Channel& channel,
+               LplParams params, util::Rng rng)
+    : sim_(simulator), channel_(channel), params_(params), rng_(rng) {
+  if (params_.wakeup_interval <= 0) {
+    throw std::invalid_argument("LplMac: wakeup interval must be > 0");
+  }
+  if (params_.max_tries < 1) {
+    throw std::invalid_argument("LplMac: max_tries must be >= 1");
+  }
+  if (params_.retry_delay < 0) {
+    throw std::invalid_argument("LplMac: retry_delay must be >= 0");
+  }
+  if (params_.probe_duration <= 0 ||
+      params_.probe_duration >= params_.wakeup_interval) {
+    throw std::invalid_argument(
+        "LplMac: probe duration must be in (0, wakeup interval)");
+  }
+  if (!phy::IsValidPaLevel(params_.pa_level)) {
+    throw std::invalid_argument("LplMac: invalid PA level");
+  }
+  // The receiver's wake phase is arbitrary relative to the sender.
+  phase_ = static_cast<sim::Duration>(
+      rng_.UniformInt(0, params_.wakeup_interval - 1));
+}
+
+double LplMac::ReceiverIdleDutyCycle() const noexcept {
+  return static_cast<double>(params_.probe_duration) /
+         static_cast<double>(params_.wakeup_interval);
+}
+
+double LplMac::ReceiverIdlePowerMw() const noexcept {
+  return ReceiverIdleDutyCycle() * phy::kSupplyVolts * phy::kRxCurrentMa;
+}
+
+bool LplMac::ReceiverAwake(sim::Time t) const {
+  if (receiver_latched_) return true;
+  const sim::Duration in_cycle =
+      (t - phase_) % params_.wakeup_interval >= 0
+          ? (t - phase_) % params_.wakeup_interval
+          : (t - phase_) % params_.wakeup_interval + params_.wakeup_interval;
+  return in_cycle < params_.probe_duration;
+}
+
+void LplMac::Send(std::uint64_t packet_id, int payload_bytes,
+                  DoneCallback done) {
+  if (busy_) throw std::logic_error("LplMac::Send while busy");
+  if (!done) throw std::invalid_argument("LplMac::Send: empty done callback");
+  phy::ValidatePayloadSize(payload_bytes);
+
+  busy_ = true;
+  packet_id_ = packet_id;
+  payload_bytes_ = payload_bytes;
+  frame_bytes_ = phy::DataFrameBytes(payload_bytes);
+  trains_done_ = 0;
+  copies_this_packet_ = 0;
+  delivered_any_ = false;
+  receiver_latched_ = false;
+  acked_ = false;
+  accepted_at_ = sim_.Now();
+  tx_energy_uj_ = 0.0;
+  done_ = std::move(done);
+
+  sim_.Schedule(phy::SpiLoadTime(payload_bytes_), [this] { StartTrain(); });
+}
+
+void LplMac::StartTrain() {
+  ++trains_done_;
+  receiver_latched_ = false;
+  // Short CSMA backoff, then the train runs for up to one wakeup interval
+  // plus a probe (guaranteeing the receiver's window is covered).
+  const auto backoff = static_cast<sim::Duration>(
+      rng_.UniformInt(0, phy::kCongestionBackoffMax));
+  sim_.Schedule(backoff + phy::kTurnaroundTime, [this] {
+    const sim::Time deadline =
+        sim_.Now() + params_.wakeup_interval + params_.probe_duration;
+    SendCopy(deadline);
+  });
+}
+
+void LplMac::SendCopy(sim::Time train_deadline) {
+  const sim::Duration airtime = phy::AirTime(frame_bytes_);
+  ++copies_sent_;
+  ++copies_this_packet_;
+  tx_energy_uj_ += phy::EnergyPerBitMicrojoule(params_.pa_level) * 8.0 *
+                   static_cast<double>(frame_bytes_);
+
+  sim_.Schedule(airtime, [this, train_deadline] {
+    const double tx_dbm = phy::OutputPowerDbm(params_.pa_level);
+    const auto outcome = channel_.Transmit(tx_dbm, frame_bytes_, sim_.Now());
+    const bool decoded = outcome.received && ReceiverAwake(sim_.Now());
+
+    if (decoded) {
+      receiver_latched_ = true;
+      delivered_any_ = true;
+      if (on_delivery_) {
+        DeliveryInfo info;
+        info.packet_id = packet_id_;
+        info.payload_bytes = payload_bytes_;
+        info.received_at = sim_.Now();
+        info.rssi_dbm = outcome.rssi_dbm;
+        info.snr_db = outcome.snr_db;
+        info.lqi = outcome.lqi;
+        info.attempt = trains_done_;
+        on_delivery_(info);
+      }
+      // The receiver acknowledges; the ACK traverses the channel too.
+      const auto ack = channel_.Transmit(tx_dbm, phy::kAckFrameBytes,
+                                         sim_.Now());
+      if (ack.received) {
+        if (on_attempt_) {
+          AttemptInfo info;
+          info.packet_id = packet_id_;
+          info.attempt = trains_done_;
+          info.payload_bytes = payload_bytes_;
+          info.at = sim_.Now();
+          info.rssi_dbm = outcome.rssi_dbm;
+          info.snr_db = outcome.snr_db;
+          info.data_received = true;
+          info.acked = true;
+          on_attempt_(info);
+        }
+        sim_.Schedule(phy::kAckTime, [this] { FinishTrain(true); });
+        return;
+      }
+      // ACK lost: keep the train going; the awake receiver will re-ack a
+      // later copy.
+    }
+
+    const sim::Time next_copy_end =
+        sim_.Now() + kInterCopyGap + phy::AirTime(frame_bytes_);
+    if (next_copy_end > train_deadline) {
+      if (on_attempt_) {
+        AttemptInfo info;
+        info.packet_id = packet_id_;
+        info.attempt = trains_done_;
+        info.payload_bytes = payload_bytes_;
+        info.at = sim_.Now();
+        info.rssi_dbm = outcome.rssi_dbm;
+        info.snr_db = outcome.snr_db;
+        info.data_received = receiver_latched_;
+        info.acked = false;
+        on_attempt_(info);
+      }
+      FinishTrain(false);
+      return;
+    }
+    sim_.Schedule(kInterCopyGap,
+                  [this, train_deadline] { SendCopy(train_deadline); });
+  });
+}
+
+void LplMac::FinishTrain(bool acked) {
+  if (acked) {
+    acked_ = true;
+    Complete();
+    return;
+  }
+  if (trains_done_ >= params_.max_tries) {
+    Complete();
+    return;
+  }
+  sim_.Schedule(params_.retry_delay, [this] { StartTrain(); });
+}
+
+void LplMac::Complete() {
+  SendResult result;
+  result.packet_id = packet_id_;
+  result.acked = acked_;
+  result.delivered = delivered_any_;
+  result.tries = trains_done_;
+  result.accepted_at = accepted_at_;
+  result.completed_at = sim_.Now();
+  result.tx_energy_uj = tx_energy_uj_;
+  result.radiated_bytes = frame_bytes_ * copies_this_packet_;
+
+  busy_ = false;
+  DoneCallback done = std::move(done_);
+  done_ = nullptr;
+  done(result);
+}
+
+}  // namespace wsnlink::mac

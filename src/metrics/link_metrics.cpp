@@ -1,0 +1,127 @@
+#include "metrics/link_metrics.h"
+
+#include <vector>
+
+#include "phy/cc2420.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace wsnlink::metrics {
+
+LinkMetrics ComputeMetrics(const node::SimulationResult& result,
+                           double pkt_interval_ms) {
+  LinkMetrics m;
+  m.generated = result.generated;
+  m.delivered_unique = result.unique_delivered;
+  m.duplicates = result.duplicates;
+  m.duration_s = sim::ToSeconds(result.end_time);
+
+  // --- attempt-level PER (Eq. 1) ---
+  std::uint64_t attempts = 0;
+  std::uint64_t failures = 0;
+  for (const auto& a : result.log.Attempts()) {
+    ++attempts;
+    if (!a.acked) ++failures;
+  }
+  m.per = attempts > 0
+              ? static_cast<double>(failures) / static_cast<double>(attempts)
+              : 0.0;
+
+  // --- per-packet scans ---
+  util::RunningStats tries_acked;
+  util::RunningStats tries_all;
+  util::RunningStats service_ms;
+  util::RunningStats queue_wait_ms;
+  util::RunningStats delay_ms;
+  std::vector<double> delays;
+  std::uint64_t queue_drops = 0;
+  std::uint64_t served = 0;
+  std::uint64_t served_delivered = 0;
+  double energy_uj = 0.0;
+  double listen_s = 0.0;
+
+  for (const auto& p : result.log.Packets()) {
+    if (p.dropped_at_queue) {
+      ++queue_drops;
+      continue;
+    }
+    // A packet may still be in flight only if the run was truncated; the
+    // runner drains everything, so completed_at is always set here.
+    if (p.completed_at == link::kNever) continue;
+    ++served;
+    energy_uj += p.tx_energy_uj;
+    listen_s += sim::ToSeconds(p.listen_time);
+    tries_all.Add(static_cast<double>(p.tries));
+    if (p.acked) tries_acked.Add(static_cast<double>(p.tries));
+    if (p.delivered) ++served_delivered;
+    service_ms.Add(sim::ToMilliseconds(p.completed_at - p.service_start));
+    queue_wait_ms.Add(sim::ToMilliseconds(p.service_start - p.arrived_at));
+    if (p.first_delivered_at != link::kNever) {
+      const double d = sim::ToMilliseconds(p.first_delivered_at - p.arrived_at);
+      delay_ms.Add(d);
+      delays.push_back(d);
+    }
+  }
+
+  m.mean_tries_acked = tries_acked.Empty() ? 0.0 : tries_acked.Mean();
+  m.mean_tries_all = tries_all.Empty() ? 0.0 : tries_all.Mean();
+  m.mean_service_ms = service_ms.Empty() ? 0.0 : service_ms.Mean();
+  m.mean_queue_wait_ms = queue_wait_ms.Empty() ? 0.0 : queue_wait_ms.Mean();
+  m.mean_delay_ms = delay_ms.Empty() ? 0.0 : delay_ms.Mean();
+  m.p99_delay_ms = delays.empty() ? 0.0 : util::Quantile(delays, 0.99);
+
+  // --- goodput / energy ---
+  const double unique_bits =
+      util::kBitsPerByte * static_cast<double>(result.unique_payload_bytes);
+  if (m.duration_s > 0.0) {
+    m.goodput_kbps = unique_bits / m.duration_s / 1000.0;
+  }
+  if (unique_bits > 0.0) {
+    m.energy_uj_per_bit = energy_uj / unique_bits;
+    m.efficiency_bits_per_uj =
+        m.energy_uj_per_bit > 0.0 ? 1.0 / m.energy_uj_per_bit : 0.0;
+    // Listen seconds * RX power (mW) = mJ; *1000 = uJ.
+    m.sender_listen_uj_per_bit =
+        listen_s * phy::kSupplyVolts * phy::kRxCurrentMa * 1000.0 /
+        unique_bits;
+  }
+
+  // --- loss decomposition ---
+  const auto generated = static_cast<double>(result.generated);
+  if (generated > 0.0) {
+    m.plr_queue = static_cast<double>(queue_drops) / generated;
+    m.plr_total =
+        1.0 - static_cast<double>(result.unique_delivered) / generated;
+  }
+  if (served > 0) {
+    m.plr_radio = 1.0 - static_cast<double>(served_delivered) /
+                            static_cast<double>(served);
+  }
+
+  // --- utilization ---
+  if (pkt_interval_ms > 0.0) {
+    m.utilization = m.mean_service_ms / pkt_interval_ms;
+  }
+
+  // --- receiver idle power ---
+  m.receiver_idle_power_mw =
+      result.receiver_idle_duty * phy::kSupplyVolts * phy::kRxCurrentMa;
+
+  // --- channel readings ---
+  if (!result.rssi_stats.Empty()) {
+    m.mean_rssi_dbm = result.rssi_stats.Mean();
+    m.rssi_stddev_db = result.rssi_stats.Count() > 1
+                           ? result.rssi_stats.StdDev()
+                           : 0.0;
+    m.mean_snr_db = result.snr_stats.Mean();
+    m.mean_lqi = result.lqi_stats.Mean();
+  }
+  return m;
+}
+
+LinkMetrics MeasureConfig(const node::SimulationOptions& options) {
+  const auto result = node::RunLinkSimulation(options);
+  return ComputeMetrics(result, options.config.pkt_interval_ms);
+}
+
+}  // namespace wsnlink::metrics

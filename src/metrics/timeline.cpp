@@ -1,0 +1,87 @@
+#include "metrics/timeline.h"
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace wsnlink::metrics {
+
+std::vector<WindowMetrics> ComputeTimeline(const link::PacketLog& log,
+                                           sim::Duration window) {
+  if (window <= 0) {
+    throw std::invalid_argument("ComputeTimeline: window must be > 0");
+  }
+  const auto& packets = log.Packets();
+  if (packets.empty()) return {};
+
+  sim::Time last_arrival = 0;
+  for (const auto& p : packets) {
+    last_arrival = std::max(last_arrival, p.arrived_at);
+  }
+  const auto windows = static_cast<std::size_t>(last_arrival / window) + 1;
+
+  struct Acc {
+    int arrivals = 0;
+    int delivered = 0;
+    int served = 0;
+    int queue_drops = 0;
+    std::int64_t delivered_payload_bytes = 0;
+    double delay_ms_sum = 0.0;
+    double tries_sum = 0.0;
+    double energy_uj = 0.0;
+  };
+  std::vector<Acc> accs(windows);
+
+  for (const auto& p : packets) {
+    auto& acc = accs[static_cast<std::size_t>(p.arrived_at / window)];
+    ++acc.arrivals;
+    if (p.dropped_at_queue) {
+      ++acc.queue_drops;
+      continue;
+    }
+    ++acc.served;
+    acc.tries_sum += static_cast<double>(p.tries);
+    acc.energy_uj += p.tx_energy_uj;
+    if (p.delivered) {
+      ++acc.delivered;
+      acc.delivered_payload_bytes += p.payload_bytes;
+      if (p.first_delivered_at != link::kNever) {
+        acc.delay_ms_sum +=
+            sim::ToMilliseconds(p.first_delivered_at - p.arrived_at);
+      }
+    }
+  }
+
+  std::vector<WindowMetrics> out;
+  out.reserve(windows);
+  for (std::size_t i = 0; i < windows; ++i) {
+    const Acc& acc = accs[i];
+    WindowMetrics w;
+    w.window_start = static_cast<sim::Time>(i) * window;
+    w.window_end = w.window_start + window;
+    w.arrivals = acc.arrivals;
+    w.delivered = acc.delivered;
+    const double bits =
+        util::kBitsPerByte * static_cast<double>(acc.delivered_payload_bytes);
+    w.goodput_kbps = bits / sim::ToSeconds(window) / 1000.0;
+    if (acc.arrivals > 0) {
+      w.plr_total = 1.0 - static_cast<double>(acc.delivered) /
+                              static_cast<double>(acc.arrivals);
+      w.plr_queue = static_cast<double>(acc.queue_drops) /
+                    static_cast<double>(acc.arrivals);
+    }
+    if (acc.delivered > 0) {
+      w.mean_delay_ms = acc.delay_ms_sum / static_cast<double>(acc.delivered);
+    }
+    if (acc.served > 0) {
+      w.mean_tries = acc.tries_sum / static_cast<double>(acc.served);
+    }
+    if (bits > 0.0) {
+      w.energy_uj_per_bit = acc.energy_uj / bits;
+    }
+    out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace wsnlink::metrics

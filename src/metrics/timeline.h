@@ -1,0 +1,37 @@
+// Time-windowed metrics.
+//
+// The whole-run metrics of link_metrics.h average over the run; dynamic
+// scenarios (mobility, adaptive reconfiguration, interference episodes)
+// need the metrics *over time*. This module slices the per-packet log into
+// fixed windows by arrival time and computes the metric vector per window,
+// giving the goodput/loss/delay time series the dynamic studies plot.
+#pragma once
+
+#include <vector>
+
+#include "link/packet_log.h"
+#include "sim/time.h"
+
+namespace wsnlink::metrics {
+
+/// Metrics of one time window.
+struct WindowMetrics {
+  sim::Time window_start = 0;
+  sim::Time window_end = 0;
+  int arrivals = 0;
+  int delivered = 0;
+  double goodput_kbps = 0.0;      ///< delivered payload bits / window length
+  double plr_total = 0.0;         ///< 1 - delivered/arrivals
+  double plr_queue = 0.0;
+  double mean_delay_ms = 0.0;     ///< over delivered packets of the window
+  double mean_tries = 0.0;        ///< over served packets of the window
+  double energy_uj_per_bit = 0.0; ///< tx energy / delivered bits (0 if none)
+};
+
+/// Slices packets into consecutive windows of `window` length, from t = 0
+/// through the last arrival. Packets are assigned by arrival time.
+/// Requires window > 0. Returns an empty vector for an empty log.
+[[nodiscard]] std::vector<WindowMetrics> ComputeTimeline(
+    const link::PacketLog& log, sim::Duration window);
+
+}  // namespace wsnlink::metrics

@@ -1,0 +1,91 @@
+#include "metrics/what_if.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/models/service_time_model.h"
+#include "phy/frame.h"
+
+namespace wsnlink::metrics {
+
+double CounterfactualPer(std::span<const link::AttemptRecord> trace,
+                         const channel::BerModel& ber, int payload_bytes) {
+  phy::ValidatePayloadSize(payload_bytes);
+  if (trace.empty()) {
+    throw std::invalid_argument("CounterfactualPer: empty trace");
+  }
+  const int frame_bytes = phy::DataFrameBytes(payload_bytes);
+  double fail_sum = 0.0;
+  for (const auto& attempt : trace) {
+    const double data_ok =
+        ber.FrameSuccessProbability(attempt.snr_db, frame_bytes);
+    const double ack_ok =
+        ber.FrameSuccessProbability(attempt.snr_db, phy::kAckFrameBytes);
+    fail_sum += 1.0 - data_ok * ack_ok;
+  }
+  return fail_sum / static_cast<double>(trace.size());
+}
+
+std::vector<WhatIfResult> PayloadWhatIf(
+    std::span<const link::AttemptRecord> trace, const channel::BerModel& ber,
+    std::span<const int> payloads, int max_tries, double retry_delay_ms) {
+  if (max_tries < 1) {
+    throw std::invalid_argument("PayloadWhatIf: max_tries must be >= 1");
+  }
+  if (retry_delay_ms < 0.0) {
+    throw std::invalid_argument("PayloadWhatIf: retry delay must be >= 0");
+  }
+  using core::models::ServiceTimeModel;
+
+  std::vector<WhatIfResult> results;
+  results.reserve(payloads.size());
+  for (const int payload : payloads) {
+    WhatIfResult r;
+    r.payload_bytes = payload;
+    r.per = CounterfactualPer(trace, ber, payload);
+    r.plr_radio = std::pow(r.per, max_tries);
+
+    // Truncated-geometric expected tries for a delivered packet.
+    const double p = r.per;
+    const double mean_tries =
+        p <= 0.0 ? 1.0 : (1.0 - std::pow(p, max_tries)) / (1.0 - p);
+
+    const double t_delivered =
+        ServiceTimeModel::SpiTimeMs(payload) +
+        ServiceTimeModel::SuccessTailMs(payload) +
+        (mean_tries - 1.0) *
+            ServiceTimeModel::RetryCostMs(payload, retry_delay_ms);
+    const double t_lost =
+        ServiceTimeModel::SpiTimeMs(payload) +
+        ServiceTimeModel::FailureTailMs(payload) +
+        static_cast<double>(max_tries - 1) *
+            ServiceTimeModel::RetryCostMs(payload, retry_delay_ms);
+    const double t_mean =
+        (1.0 - r.plr_radio) * t_delivered + r.plr_radio * t_lost;
+    r.max_goodput_kbps =
+        8.0 * static_cast<double>(payload) / t_mean * (1.0 - r.plr_radio);
+    results.push_back(r);
+  }
+  return results;
+}
+
+int BestPayloadOnTrace(std::span<const link::AttemptRecord> trace,
+                       const channel::BerModel& ber, int max_tries,
+                       double retry_delay_ms) {
+  std::vector<int> candidates;
+  candidates.reserve(static_cast<std::size_t>(phy::kMaxPayloadBytes));
+  for (int l = 1; l <= phy::kMaxPayloadBytes; ++l) candidates.push_back(l);
+  const auto results =
+      PayloadWhatIf(trace, ber, candidates, max_tries, retry_delay_ms);
+  int best = 1;
+  double best_goodput = -1.0;
+  for (const auto& r : results) {
+    if (r.max_goodput_kbps > best_goodput) {
+      best_goodput = r.max_goodput_kbps;
+      best = r.payload_bytes;
+    }
+  }
+  return best;
+}
+
+}  // namespace wsnlink::metrics

@@ -1,0 +1,55 @@
+// Counterfactual ("what-if") analysis over recorded channel traces.
+//
+// A measurement campaign records the channel each attempt actually saw
+// (the per-attempt SNR in the attempt log / public dataset). Those traces
+// answer more questions than the configuration that produced them: for any
+// other payload size, the frame-loss law evaluated on the *same* SNR
+// sequence predicts what PER / goodput that payload would have achieved on
+// that channel — without re-running anything. This is the analysis mode a
+// dataset release enables, and it is how a deployed system can tune payload
+// from passive observations alone.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "channel/ber.h"
+#include "link/packet_log.h"
+
+namespace wsnlink::metrics {
+
+/// Counterfactual per-attempt failure probability for `payload_bytes`,
+/// averaged over the recorded attempt SNRs. An attempt fails if the data
+/// frame (payload + 19 B stack overhead) or the 11 B ACK is lost.
+/// Requires a non-empty trace and payload in [1, 114].
+[[nodiscard]] double CounterfactualPer(
+    std::span<const link::AttemptRecord> trace, const channel::BerModel& ber,
+    int payload_bytes);
+
+/// One what-if evaluation.
+struct WhatIfResult {
+  int payload_bytes = 0;
+  /// Counterfactual per-attempt failure probability.
+  double per = 0.0;
+  /// Counterfactual radio loss after `max_tries` attempts (per^N under the
+  /// trace-mean approximation).
+  double plr_radio = 0.0;
+  /// Counterfactual saturated goodput, kbps (Eq. 4 with the service-time
+  /// constants and the counterfactual attempt statistics).
+  double max_goodput_kbps = 0.0;
+};
+
+/// Evaluates a set of candidate payloads against one trace.
+/// `max_tries` >= 1 and `retry_delay_ms` >= 0 configure the hypothetical
+/// MAC the candidates would run under.
+[[nodiscard]] std::vector<WhatIfResult> PayloadWhatIf(
+    std::span<const link::AttemptRecord> trace, const channel::BerModel& ber,
+    std::span<const int> payloads, int max_tries, double retry_delay_ms = 0.0);
+
+/// The payload (1..114) maximising counterfactual goodput on the trace.
+[[nodiscard]] int BestPayloadOnTrace(std::span<const link::AttemptRecord> trace,
+                                     const channel::BerModel& ber,
+                                     int max_tries,
+                                     double retry_delay_ms = 0.0);
+
+}  // namespace wsnlink::metrics

@@ -1,0 +1,115 @@
+#include "node/link_simulation.h"
+
+#include <stdexcept>
+
+#include "app/traffic_gen.h"
+#include "link/link_layer.h"
+#include "mac/csma_mac.h"
+#include "mac/lpl_mac.h"
+#include "phy/cc2420.h"
+#include "sim/simulator.h"
+
+namespace wsnlink::node {
+
+channel::ChannelConfig MakeChannelConfig(const SimulationOptions& options) {
+  channel::ChannelConfig config;
+  config.distance_m = options.config.distance_m;
+  config.spatial_shadow_db = options.spatial_shadow_db;
+  if (options.disable_temporal_shadowing) {
+    config.use_default_temporal_sigma = false;
+    config.shadowing.sigma_db = 0.0;
+  }
+  if (options.disable_interference) {
+    config.noise.burst_rate_hz = 0.0;
+  }
+  config.interferer.duty_cycle = options.interferer_duty_cycle;
+  config.interferer.rx_power_dbm = options.interferer_power_dbm;
+  config.mobility.speed_mps = options.mobility_speed_mps;
+  config.mobility.min_distance_m = options.mobility_min_m;
+  config.mobility.max_distance_m = options.mobility_max_m;
+  return config;
+}
+
+SimulationResult RunLinkSimulation(const SimulationOptions& options) {
+  options.config.Validate();
+  if (options.packet_count < 1) {
+    throw std::invalid_argument("RunLinkSimulation: packet_count must be >= 1");
+  }
+
+  util::Rng root(options.seed);
+  sim::Simulator simulator;
+
+  std::unique_ptr<channel::BerModel> ber;
+  if (options.analytic_ber) {
+    ber = std::make_unique<channel::AnalyticOQpskBer>();
+  } else {
+    ber = channel::MakeDefaultBerModel();
+  }
+  channel::Channel channel(MakeChannelConfig(options), std::move(ber),
+                           root.Derive("channel"));
+
+  std::unique_ptr<mac::Mac> mac;
+  mac::CsmaMac* csma = nullptr;
+  if (options.mac == MacKind::kCsma) {
+    mac::MacParams mac_params;
+    mac_params.max_tries = options.config.max_tries;
+    mac_params.retry_delay =
+        sim::FromMilliseconds(options.config.retry_delay_ms);
+    mac_params.pa_level = options.config.pa_level;
+    auto owned = std::make_unique<mac::CsmaMac>(simulator, channel, mac_params,
+                                                root.Derive("mac"));
+    csma = owned.get();
+    mac = std::move(owned);
+  }
+  double receiver_idle_duty = 1.0;
+  if (options.mac == MacKind::kLpl) {
+    mac::LplParams lpl_params;
+    lpl_params.wakeup_interval =
+        sim::FromMilliseconds(options.lpl_wakeup_interval_ms);
+    lpl_params.max_tries = options.config.max_tries;
+    lpl_params.retry_delay =
+        sim::FromMilliseconds(options.config.retry_delay_ms);
+    lpl_params.pa_level = options.config.pa_level;
+    auto owned = std::make_unique<mac::LplMac>(simulator, channel, lpl_params,
+                                               root.Derive("mac"));
+    receiver_idle_duty = owned->ReceiverIdleDutyCycle();
+    mac = std::move(owned);
+  }
+
+  link::LinkLayer link(simulator, *mac, options.config.queue_capacity);
+
+  app::PacketSink sink;
+  link.SetDeliveryCallback(
+      [&sink](const mac::DeliveryInfo& info) { sink.OnDelivery(info); });
+
+  app::TrafficParams traffic;
+  traffic.pkt_interval = sim::FromMilliseconds(options.config.pkt_interval_ms);
+  traffic.payload_bytes = options.config.payload_bytes;
+  traffic.packet_count = options.packet_count;
+  traffic.poisson = options.poisson_arrivals;
+  app::TrafficGenerator generator(simulator, link, traffic,
+                                  root.Derive("traffic"));
+
+  SimulationResult result;
+  generator.Start();
+  simulator.Run();
+
+  result.log = std::move(link.MutableLog());
+  result.unique_delivered = sink.UniqueCount();
+  result.duplicates = sink.DuplicateCount();
+  result.unique_payload_bytes = sink.UniquePayloadBytes();
+  result.last_delivery_at = sink.LastDeliveryAt();
+  result.end_time = simulator.Now();
+  result.generated = generator.Generated();
+  result.mean_snr_db = channel.MeanSnrDb(
+      phy::OutputPowerDbm(options.config.pa_level));
+  result.rssi_stats = sink.RssiStats();
+  result.snr_stats = sink.SnrStats();
+  result.lqi_stats = sink.LqiStats();
+  result.cca_busy = csma != nullptr ? csma->CcaBusyCount() : 0;
+  result.receiver_idle_duty = receiver_idle_duty;
+  result.events_executed = simulator.EventsExecuted();
+  return result;
+}
+
+}  // namespace wsnlink::node

@@ -1,0 +1,35 @@
+#include "phy/frame.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "phy/cc2420.h"
+
+namespace wsnlink::phy {
+
+void ValidatePayloadSize(int payload_bytes) {
+  if (payload_bytes < 1 || payload_bytes > kMaxPayloadBytes) {
+    throw std::invalid_argument("payload size " + std::to_string(payload_bytes) +
+                                " outside [1, " +
+                                std::to_string(kMaxPayloadBytes) + "]");
+  }
+}
+
+int DataFrameBytes(int payload_bytes) {
+  ValidatePayloadSize(payload_bytes);
+  return payload_bytes + kStackOverheadBytes;
+}
+
+sim::Duration AirTime(int bytes) {
+  if (bytes <= 0) throw std::invalid_argument("AirTime: bytes must be > 0");
+  const double seconds = static_cast<double>(bytes) * 8.0 / kDataRateBps;
+  return sim::FromSeconds(seconds);
+}
+
+sim::Duration DataFrameAirTime(int payload_bytes) {
+  return AirTime(DataFrameBytes(payload_bytes));
+}
+
+sim::Duration AckAirTime() noexcept { return AirTime(kAckFrameBytes); }
+
+}  // namespace wsnlink::phy

@@ -1,0 +1,51 @@
+// IEEE 802.15.4 frame geometry as used by the TinyOS 2.1 CC2420 stack.
+//
+// The paper's "payload size" l_D is the application payload carried inside
+// an active-message data frame; the stack adds a fixed overhead l_0. With a
+// 127-byte maximum MPDU and a 13-byte MPDU overhead, the maximum payload is
+// 114 bytes — exactly the "maximum payload size in our radio stack
+// (114 bytes)" the paper quotes.
+#pragma once
+
+#include "sim/time.h"
+
+namespace wsnlink::phy {
+
+/// PHY-layer synchronisation header: 4 B preamble + 1 B SFD + 1 B length.
+inline constexpr int kPhyOverheadBytes = 6;
+
+/// MPDU overhead of the TinyOS 2.1 active-message stack: FCF (2) + DSN (1) +
+/// dest PAN (2) + dest addr (2) + src addr (2) + 6lowpan/network (1) +
+/// AM type (1) + FCS (2) = 13 bytes.
+inline constexpr int kMpduOverheadBytes = 13;
+
+/// Total stack overhead per data frame, l_0 in Eq. (2): every non-payload
+/// byte radiated for one packet.
+inline constexpr int kStackOverheadBytes = kPhyOverheadBytes + kMpduOverheadBytes;
+
+/// Maximum MPDU size allowed by 802.15.4.
+inline constexpr int kMaxMpduBytes = 127;
+
+/// Maximum application payload: 127 - 13 = 114 bytes.
+inline constexpr int kMaxPayloadBytes = kMaxMpduBytes - kMpduOverheadBytes;
+
+/// ACK frame: 5 B MPDU (FCF 2 + DSN 1 + FCS 2) + 6 B PHY header.
+inline constexpr int kAckFrameBytes = 11;
+
+/// Validates a payload size; throws std::invalid_argument outside [1, 114].
+void ValidatePayloadSize(int payload_bytes);
+
+/// Bytes radiated for one data frame with the given payload
+/// (payload + stack overhead).
+[[nodiscard]] int DataFrameBytes(int payload_bytes);
+
+/// On-air duration of `bytes` at 250 kb/s.
+[[nodiscard]] sim::Duration AirTime(int bytes);
+
+/// On-air duration of a data frame carrying `payload_bytes`.
+[[nodiscard]] sim::Duration DataFrameAirTime(int payload_bytes);
+
+/// On-air duration of an ACK frame.
+[[nodiscard]] sim::Duration AckAirTime() noexcept;
+
+}  // namespace wsnlink::phy

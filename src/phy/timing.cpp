@@ -1,0 +1,16 @@
+#include "phy/timing.h"
+
+#include "phy/frame.h"
+
+namespace wsnlink::phy {
+
+sim::Duration SpiLoadTime(int payload_bytes) {
+  ValidatePayloadSize(payload_bytes);
+  constexpr double kBaseUs = 1470.0;
+  constexpr double kPerByteUs = 44.4;
+  const double us =
+      kBaseUs + kPerByteUs * static_cast<double>(kMpduOverheadBytes + payload_bytes);
+  return static_cast<sim::Duration>(us + 0.5);
+}
+
+}  // namespace wsnlink::phy

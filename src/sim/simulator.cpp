@@ -1,0 +1,65 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace wsnlink::sim {
+
+void EventHandle::Cancel() noexcept {
+  if (state_) state_->cancelled = true;
+}
+
+bool EventHandle::Pending() const noexcept {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle Simulator::Schedule(Duration delay, std::function<void()> fn) {
+  if (delay < 0) throw std::invalid_argument("Simulator::Schedule: negative delay");
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::ScheduleAt(Time at, std::function<void()> fn) {
+  if (at < now_) throw std::invalid_argument("Simulator::ScheduleAt: time in the past");
+  if (!fn) throw std::invalid_argument("Simulator::ScheduleAt: empty callback");
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Entry{at, next_seq_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the entry must be copied out before pop.
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (entry.state->cancelled) continue;
+    now_ = entry.at;
+    entry.state->fired = true;
+    ++executed_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::RunUntil(Time until) {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    // Skip cancelled heads without advancing the clock.
+    if (queue_.top().state->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > until) break;
+    if (Step()) ++count;
+  }
+  if (now_ < until) now_ = until;
+  return count;
+}
+
+std::size_t Simulator::Run() {
+  std::size_t count = 0;
+  while (Step()) ++count;
+  return count;
+}
+
+}  // namespace wsnlink::sim

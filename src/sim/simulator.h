@@ -1,0 +1,100 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded event loop over a binary heap keyed by (time, sequence).
+// The sequence number makes scheduling FIFO-stable for events at the same
+// timestamp, which keeps traces deterministic. Events are type-erased
+// callbacks; cancellation is supported through handles (a cancelled event
+// stays in the heap but is skipped when popped — cheap and sufficient for
+// the MAC's ACK-timeout pattern).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace wsnlink::sim {
+
+/// Cancellation handle for a scheduled event.
+///
+/// Copyable; all copies refer to the same scheduled event. A default-
+/// constructed handle refers to nothing and Cancel() on it is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Marks the event as cancelled. Safe to call multiple times, and safe to
+  /// call after the event has fired (no effect).
+  void Cancel() noexcept;
+
+  /// True if the event is still scheduled to fire.
+  [[nodiscard]] bool Pending() const noexcept;
+
+ private:
+  friend class Simulator;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// The event loop.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Starts at 0.
+  [[nodiscard]] Time Now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at `Now() + delay`. Requires delay >= 0.
+  /// Returns a handle that can cancel the event before it fires.
+  EventHandle Schedule(Duration delay, std::function<void()> fn);
+
+  /// Schedules `fn` at an absolute time. Requires at >= Now().
+  EventHandle ScheduleAt(Time at, std::function<void()> fn);
+
+  /// Runs events until the queue empties or the clock would pass `until`.
+  /// Events scheduled exactly at `until` are executed. Returns the number of
+  /// events executed.
+  std::size_t RunUntil(Time until);
+
+  /// Runs until the queue is empty. Returns the number of events executed.
+  std::size_t Run();
+
+  /// Executes at most one event; returns false if the queue is empty.
+  bool Step();
+
+  /// Number of events currently queued (including cancelled-but-unpopped).
+  [[nodiscard]] std::size_t QueueSize() const noexcept { return queue_.size(); }
+
+  /// Total number of events executed so far (excludes cancelled ones).
+  [[nodiscard]] std::uint64_t EventsExecuted() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace wsnlink::sim

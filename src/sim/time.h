@@ -1,0 +1,43 @@
+// Simulated time.
+//
+// Time is an integer count of microseconds since simulation start. Integer
+// time makes event ordering exact (no FP ties) and microsecond resolution is
+// two orders of magnitude finer than the smallest stack timing constant in
+// the paper (the 224 us RX/TX turnaround).
+#pragma once
+
+#include <cstdint>
+
+namespace wsnlink::sim {
+
+/// Absolute simulated time in microseconds.
+using Time = std::int64_t;
+
+/// Relative duration in microseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000;
+constexpr Duration kSecond = 1'000'000;
+
+/// Converts fractional milliseconds to a Duration, rounding to nearest.
+[[nodiscard]] constexpr Duration FromMilliseconds(double ms) noexcept {
+  return static_cast<Duration>(ms * 1000.0 + (ms >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts fractional seconds to a Duration, rounding to nearest.
+[[nodiscard]] constexpr Duration FromSeconds(double s) noexcept {
+  return static_cast<Duration>(s * 1'000'000.0 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Duration expressed in fractional milliseconds.
+[[nodiscard]] constexpr double ToMilliseconds(Duration d) noexcept {
+  return static_cast<double>(d) / 1000.0;
+}
+
+/// Duration expressed in fractional seconds.
+[[nodiscard]] constexpr double ToSeconds(Duration d) noexcept {
+  return static_cast<double>(d) / 1'000'000.0;
+}
+
+}  // namespace wsnlink::sim

@@ -1,0 +1,76 @@
+#include "util/args.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wsnlink::util {
+
+Args::Args(int argc, const char* const* argv,
+           const std::vector<std::string>& switches) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    if (std::find(switches.begin(), switches.end(), arg) != switches.end()) {
+      switches_given_.push_back(arg);
+      continue;
+    }
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("missing value for " + arg);
+    }
+    values_[arg] = argv[++i];
+  }
+}
+
+bool Args::Has(const std::string& flag) const {
+  return std::find(switches_given_.begin(), switches_given_.end(), flag) !=
+         switches_given_.end();
+}
+
+std::optional<std::string> Args::Get(const std::string& flag) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::GetString(const std::string& flag,
+                            const std::string& fallback) const {
+  return Get(flag).value_or(fallback);
+}
+
+double Args::GetDouble(const std::string& flag, double fallback) const {
+  const auto value = Get(flag);
+  if (!value) return fallback;
+  std::size_t consumed = 0;
+  const double parsed = std::stod(*value, &consumed);
+  if (consumed != value->size()) {
+    throw std::invalid_argument("bad numeric value for " + flag + ": " + *value);
+  }
+  return parsed;
+}
+
+int Args::GetInt(const std::string& flag, int fallback) const {
+  const auto value = Get(flag);
+  if (!value) return fallback;
+  std::size_t consumed = 0;
+  const int parsed = std::stoi(*value, &consumed);
+  if (consumed != value->size()) {
+    throw std::invalid_argument("bad integer value for " + flag + ": " + *value);
+  }
+  return parsed;
+}
+
+std::size_t Args::GetSize(const std::string& flag, std::size_t fallback) const {
+  const auto value = Get(flag);
+  if (!value) return fallback;
+  std::size_t consumed = 0;
+  const unsigned long long parsed = std::stoull(*value, &consumed);
+  if (consumed != value->size()) {
+    throw std::invalid_argument("bad size value for " + flag + ": " + *value);
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace wsnlink::util

@@ -1,0 +1,53 @@
+// Minimal command-line flag parser for the example/tool binaries.
+//
+// Supports `--flag value` options (string/double/int/size_t), boolean
+// switches (`--verify`), and positional arguments. Unknown flags produce an
+// error with the usage line, matching what the tools previously hand-rolled
+// four times over.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wsnlink::util {
+
+/// Parsed command line.
+class Args {
+ public:
+  /// Parses argv. `switches` lists flags that take no value. Throws
+  /// std::invalid_argument on an unknown flag (not in `switches` and not
+  /// followed by a value) or a flag missing its value.
+  Args(int argc, const char* const* argv,
+       const std::vector<std::string>& switches = {});
+
+  /// True if the boolean switch was given.
+  [[nodiscard]] bool Has(const std::string& flag) const;
+
+  /// Value of `--flag value`, or nullopt if absent.
+  [[nodiscard]] std::optional<std::string> Get(const std::string& flag) const;
+
+  /// Typed accessors with defaults. Throw std::invalid_argument when the
+  /// value does not parse.
+  [[nodiscard]] std::string GetString(const std::string& flag,
+                                      const std::string& fallback) const;
+  [[nodiscard]] double GetDouble(const std::string& flag,
+                                 double fallback) const;
+  [[nodiscard]] int GetInt(const std::string& flag, int fallback) const;
+  [[nodiscard]] std::size_t GetSize(const std::string& flag,
+                                    std::size_t fallback) const;
+
+  /// Non-flag arguments in order.
+  [[nodiscard]] const std::vector<std::string>& Positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> switches_given_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace wsnlink::util

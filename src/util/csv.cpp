@@ -1,0 +1,111 @@
+#include "util/csv.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace wsnlink::util {
+
+std::string EscapeCsvCell(std::string_view cell) {
+  const bool needs_quote = cell.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(cell);
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> headers)
+    : out_(path), columns_(headers.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (headers.empty()) throw std::invalid_argument("CsvWriter: no headers");
+  WriteCells(headers);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: cell count != header count");
+  }
+  WriteCells(cells);
+  ++rows_;
+}
+
+void CsvWriter::WriteCells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << EscapeCsvCell(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::vector<std::string> ParseCsvLine(std::string_view line) {
+  std::vector<std::string> cells;
+  std::string current;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current += ch;
+      }
+    } else if (ch == '"') {
+      quoted = true;
+    } else if (ch == ',') {
+      cells.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  cells.push_back(std::move(current));
+  return cells;
+}
+
+CsvData ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ReadCsv: cannot open " + path);
+  CsvData data;
+  std::string line;
+  if (std::getline(in, line)) data.headers = ParseCsvLine(line);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    data.rows.push_back(ParseCsvLine(line));
+  }
+  return data;
+}
+
+std::size_t CsvData::ColumnIndex(std::string_view name) const {
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    if (headers[i] == name) return i;
+  }
+  throw std::out_of_range("CsvData: no column named " + std::string(name));
+}
+
+std::vector<double> CsvData::NumericColumn(std::string_view name) const {
+  const std::size_t col = ColumnIndex(name);
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (const auto& row : rows) {
+    if (col >= row.size()) throw std::runtime_error("CsvData: short row");
+    const std::string& cell = row[col];
+    double v{};
+    const auto [ptr, ec] =
+        std::from_chars(cell.data(), cell.data() + cell.size(), v);
+    if (ec != std::errc() || ptr != cell.data() + cell.size()) {
+      throw std::runtime_error("CsvData: non-numeric cell '" + cell + "'");
+    }
+    values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace wsnlink::util

@@ -1,0 +1,61 @@
+// Minimal CSV writer/reader for dataset export.
+//
+// The experiment campaign emits the same per-packet metadata schema the
+// paper's public dataset used; this module handles the file format. The
+// reader exists so tests can round-trip what the campaign wrote and so
+// downstream analysis (fitting) can run off a dumped dataset instead of a
+// live simulation.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsnlink::util {
+
+/// Streams rows to a CSV file. Throws std::runtime_error if the file cannot
+/// be opened. Flushes on destruction (RAII).
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row; the cell count must equal the header count.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t RowsWritten() const noexcept { return rows_; }
+
+ private:
+  void WriteCells(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Fully parsed CSV contents.
+struct CsvData {
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column; throws std::out_of_range if absent.
+  [[nodiscard]] std::size_t ColumnIndex(std::string_view name) const;
+
+  /// Column values parsed as doubles; throws on non-numeric cells.
+  [[nodiscard]] std::vector<double> NumericColumn(std::string_view name) const;
+};
+
+/// Reads an entire CSV file (with header line). Handles quoted cells with
+/// embedded commas and doubled quotes.
+[[nodiscard]] CsvData ReadCsv(const std::string& path);
+
+/// Splits a single CSV line into cells (exposed for tests).
+[[nodiscard]] std::vector<std::string> ParseCsvLine(std::string_view line);
+
+/// Escapes a cell for CSV output (exposed for tests).
+[[nodiscard]] std::string EscapeCsvCell(std::string_view cell);
+
+}  // namespace wsnlink::util

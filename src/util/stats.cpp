@@ -1,0 +1,168 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wsnlink::util {
+
+void RunningStats::Add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::Mean() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::Mean on empty accumulator");
+  return mean_;
+}
+
+double RunningStats::Variance() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::Variance on empty accumulator");
+  if (n_ == 1) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStats::Min() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::Min on empty accumulator");
+  return min_;
+}
+
+double RunningStats::Max() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::Max on empty accumulator");
+  return max_;
+}
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("Mean of empty span");
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  RunningStats acc;
+  for (const double x : xs) acc.Add(x);
+  return acc.StdDev();
+}
+
+double Quantile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("Quantile of empty span");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("Quantile p out of [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Median(std::span<const double> xs) { return Quantile(xs, 0.5); }
+
+std::optional<LinearFit> FitLine(std::span<const double> xs,
+                                 std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("FitLine: size mismatch");
+  const std::size_t n = xs.size();
+  if (n < 2) return std::nullopt;
+
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) return std::nullopt;
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = ys[i] - (fit.slope * xs[i] + fit.intercept);
+    ss_res += r * r;
+  }
+  fit.r_squared = (syy > 0.0) ? std::max(0.0, 1.0 - ss_res / syy) : 1.0;
+  fit.rmse = std::sqrt(ss_res / static_cast<double>(n));
+  return fit;
+}
+
+std::optional<double> Correlation(std::span<const double> xs,
+                                  std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("Correlation: size mismatch");
+  if (xs.size() < 2) return std::nullopt;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return std::nullopt;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Rmse(std::span<const double> predicted, std::span<const double> observed) {
+  if (predicted.size() != observed.size() || predicted.empty()) {
+    throw std::invalid_argument("Rmse: mismatched or empty spans");
+  }
+  double ss = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - observed[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(predicted.size()));
+}
+
+double MaxAbsError(std::span<const double> predicted,
+                   std::span<const double> observed) {
+  if (predicted.size() != observed.size() || predicted.empty()) {
+    throw std::invalid_argument("MaxAbsError: mismatched or empty spans");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    worst = std::max(worst, std::abs(predicted[i] - observed[i]));
+  }
+  return worst;
+}
+
+}  // namespace wsnlink::util

@@ -1,0 +1,97 @@
+// Descriptive statistics and least-squares fitting primitives.
+//
+// These are the numeric workhorses behind the paper's data analysis: per-
+// configuration metric summaries (mean/stddev/percentiles), the log-normal
+// path-loss fit of Fig. 3, and the exponential model fits of Figs. 11-12
+// (via log-linearised linear regression and Gauss-Newton refinement in
+// core/fit).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace wsnlink::util {
+
+/// Streaming accumulator for mean/variance/min/max (Welford's algorithm).
+///
+/// Numerically stable for long streams (the campaign feeds hundreds of
+/// millions of per-packet samples through these).
+class RunningStats {
+ public:
+  void Add(double x) noexcept;
+
+  /// Merges another accumulator (parallel-reduction friendly).
+  void Merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t Count() const noexcept { return n_; }
+  [[nodiscard]] bool Empty() const noexcept { return n_ == 0; }
+
+  /// Mean of the samples. Requires Count() > 0.
+  [[nodiscard]] double Mean() const;
+
+  /// Unbiased sample variance. Requires Count() > 1 (returns 0 for n==1).
+  [[nodiscard]] double Variance() const;
+
+  /// Sample standard deviation (sqrt of Variance()).
+  [[nodiscard]] double StdDev() const;
+
+  /// Minimum / maximum sample. Requires Count() > 0.
+  [[nodiscard]] double Min() const;
+  [[nodiscard]] double Max() const;
+
+  [[nodiscard]] double Sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a span. Requires non-empty input.
+[[nodiscard]] double Mean(std::span<const double> xs);
+
+/// Sample standard deviation of a span (0 for fewer than 2 samples).
+[[nodiscard]] double StdDev(std::span<const double> xs);
+
+/// p-quantile (0 <= p <= 1) with linear interpolation between order
+/// statistics. Copies and sorts internally. Requires non-empty input.
+[[nodiscard]] double Quantile(std::span<const double> xs, double p);
+
+/// Median (Quantile with p = 0.5).
+[[nodiscard]] double Median(std::span<const double> xs);
+
+/// Result of an ordinary least-squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1]; 1 means a perfect fit.
+  double r_squared = 0.0;
+  /// Root-mean-square of the residuals.
+  double rmse = 0.0;
+};
+
+/// Ordinary least squares over paired samples.
+///
+/// Returns nullopt if fewer than 2 points or if x is degenerate (zero
+/// variance), in which case no line is identifiable.
+[[nodiscard]] std::optional<LinearFit> FitLine(std::span<const double> xs,
+                                               std::span<const double> ys);
+
+/// Pearson correlation coefficient. Returns nullopt on degenerate input.
+[[nodiscard]] std::optional<double> Correlation(std::span<const double> xs,
+                                                std::span<const double> ys);
+
+/// Root-mean-square error between paired predictions and observations.
+/// Requires equal, non-zero lengths.
+[[nodiscard]] double Rmse(std::span<const double> predicted,
+                          std::span<const double> observed);
+
+/// Maximum absolute difference between paired values.
+[[nodiscard]] double MaxAbsError(std::span<const double> predicted,
+                                 std::span<const double> observed);
+
+}  // namespace wsnlink::util

@@ -1,0 +1,201 @@
+// Tests for the link-quality estimator and adaptive controller.
+#include <gtest/gtest.h>
+
+#include "core/opt/adaptive.h"
+#include "metrics/link_metrics.h"
+#include "node/link_simulation.h"
+#include "phy/cc2420.h"
+#include "phy/frame.h"
+
+namespace wsnlink::core::opt {
+namespace {
+
+// ----------------------------------------------------------- estimator ----
+
+TEST(LinkQualityEstimator, FirstSampleSetsEstimate) {
+  LinkQualityEstimator est;
+  EXPECT_FALSE(est.HasEstimate());
+  EXPECT_THROW((void)est.SnrDb(), std::logic_error);
+  est.OnReception(15.0);
+  EXPECT_TRUE(est.HasEstimate());
+  EXPECT_DOUBLE_EQ(est.SnrDb(), 15.0);
+}
+
+TEST(LinkQualityEstimator, EwmaConvergesToNewLevel) {
+  LinkQualityEstimator est(0.2);
+  est.OnReception(20.0);
+  for (int i = 0; i < 50; ++i) est.OnReception(8.0);
+  EXPECT_NEAR(est.SnrDb(), 8.0, 0.01);
+}
+
+TEST(LinkQualityEstimator, LossesDragEstimateDown) {
+  LinkQualityEstimator est(0.1, /*loss_step_db=*/1.0);
+  est.OnReception(20.0);
+  for (int i = 0; i < 10; ++i) est.OnLoss();
+  EXPECT_NEAR(est.SnrDb(), 10.0, 1e-9);
+  EXPECT_EQ(est.Losses(), 10u);
+  // Never below the floor.
+  for (int i = 0; i < 100; ++i) est.OnLoss();
+  EXPECT_DOUBLE_EQ(est.SnrDb(), -5.0);
+}
+
+TEST(LinkQualityEstimator, LossBeforeAnyReceptionIsIgnored) {
+  LinkQualityEstimator est;
+  est.OnLoss();
+  EXPECT_FALSE(est.HasEstimate());
+}
+
+TEST(LinkQualityEstimator, ResetForgets) {
+  LinkQualityEstimator est;
+  est.OnReception(12.0);
+  est.Reset();
+  EXPECT_FALSE(est.HasEstimate());
+  EXPECT_EQ(est.Receptions(), 0u);
+}
+
+TEST(LinkQualityEstimator, InvalidAlphaRejected) {
+  EXPECT_THROW(LinkQualityEstimator(0.0), std::invalid_argument);
+  EXPECT_THROW(LinkQualityEstimator(1.5), std::invalid_argument);
+  EXPECT_THROW(LinkQualityEstimator(0.1, -1.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- controller ----
+
+StackConfig InitialConfig() {
+  StackConfig config;
+  config.distance_m = 25.0;
+  config.pa_level = 31;
+  config.max_tries = 3;
+  config.queue_capacity = 5;
+  config.pkt_interval_ms = 150.0;
+  config.payload_bytes = 80;
+  return config;
+}
+
+TEST(AdaptiveController, GoodLinkDropsPowerAndBeatsThresholdRule) {
+  const models::ModelSet models;
+  AdaptiveController controller(models, InitialConfig());
+  // 30 dB measured at level 31: the controller backs the power way off.
+  const auto config = controller.DeriveConfig(30.0, 31);
+  EXPECT_LE(config.pa_level, 11);
+
+  // Its exhaustive search is at least as good as the simpler "lowest power
+  // clearing the low-impact zone, max payload" guideline branch.
+  const double snr = 30.0 + phy::OutputPowerDbm(config.pa_level);
+  const double chosen_energy =
+      models.Energy().MicrojoulesPerBit(config.payload_bytes, snr,
+                                        config.pa_level);
+  // Reference: "lowest power clearing the low-impact zone" is level 15
+  // here (30 - 7 = 23 dB) at max payload.
+  const double rule_energy = models.Energy().MicrojoulesPerBit(
+      phy::kMaxPayloadBytes, 30.0 - 7.0, 15);
+  EXPECT_LE(chosen_energy, rule_energy + 1e-9);
+}
+
+TEST(AdaptiveController, BadLinkShrinksPayloadAndKeepsHighPower) {
+  const models::ModelSet models;
+  AdaptiveController controller(models, InitialConfig());
+  const auto config = controller.DeriveConfig(8.0, 31);
+  EXPECT_LT(config.payload_bytes, phy::kMaxPayloadBytes);
+  // High power region (the two cheapest-per-dB top levels trade off).
+  EXPECT_GE(config.pa_level, 23);
+  // The loss ceiling still holds at the candidate's own SNR.
+  const double snr = 8.0 + phy::OutputPowerDbm(config.pa_level);
+  EXPECT_LE(models.Plr().RadioLoss(config.payload_bytes, snr,
+                                   config.max_tries),
+            0.05 + 1e-9);
+}
+
+TEST(AdaptiveController, EnergyObjectiveHonoursLossCeiling) {
+  AdaptiveControllerConfig policy;
+  policy.objective = AdaptationObjective::kEnergy;
+  policy.radio_loss_ceiling = 0.02;
+  AdaptiveController controller(models::ModelSet(), InitialConfig(), policy);
+  const auto config = controller.DeriveConfig(12.0, 31);
+  const auto prediction =
+      models::ModelSet().PredictAtSnr(config, 12.0 + 0.0);
+  EXPECT_LE(prediction.plr_radio, 0.02 + 1e-9);
+}
+
+TEST(AdaptiveController, GoodputObjectivePicksLargeRetryBudget) {
+  AdaptiveControllerConfig policy;
+  policy.objective = AdaptationObjective::kGoodput;
+  AdaptiveController controller(models::ModelSet(), InitialConfig(), policy);
+  const auto config = controller.DeriveConfig(15.0, 31);
+  EXPECT_EQ(config.max_tries, 8);
+  EXPECT_EQ(config.payload_bytes, phy::kMaxPayloadBytes);
+}
+
+TEST(AdaptiveController, ReconfiguresOnlyAfterEpochAndChange) {
+  AdaptiveControllerConfig policy;
+  policy.packets_per_epoch = 10;
+  policy.min_snr_change_db = 2.0;
+  AdaptiveController controller(models::ModelSet(), InitialConfig(), policy);
+
+  // Not enough reports yet.
+  for (int i = 0; i < 9; ++i) controller.ReportReception(25.0);
+  EXPECT_FALSE(controller.MaybeReconfigure());
+
+  controller.ReportReception(25.0);
+  EXPECT_TRUE(controller.MaybeReconfigure());
+  EXPECT_EQ(controller.Reconfigurations(), 1);
+  const auto first = controller.Config();
+
+  // Same link: epoch passes but hysteresis suppresses a change.
+  for (int i = 0; i < 10; ++i) controller.ReportReception(25.2);
+  EXPECT_FALSE(controller.MaybeReconfigure());
+  EXPECT_EQ(controller.Config(), first);
+
+  // Link collapses: the next epoch reconfigures.
+  for (int i = 0; i < 10; ++i) controller.ReportReception(9.0);
+  EXPECT_TRUE(controller.MaybeReconfigure());
+  EXPECT_NE(controller.Config(), first);
+}
+
+TEST(AdaptiveController, InvalidEpochRejected) {
+  AdaptiveControllerConfig policy;
+  policy.packets_per_epoch = 0;
+  EXPECT_THROW(
+      AdaptiveController(models::ModelSet(), InitialConfig(), policy),
+      std::invalid_argument);
+}
+
+TEST(AdaptiveController, ClosedLoopBeatsStaticOnDegradedLink) {
+  // Closed loop against the simulator: run epochs on a faded link; the
+  // controller must converge to a configuration with materially lower
+  // energy-per-bit than the static choice that assumed a clear link.
+  const models::ModelSet models;
+  StackConfig static_config = InitialConfig();
+  static_config.pa_level = 15;                         // tuned for clear link
+  static_config.payload_bytes = phy::kMaxPayloadBytes;
+
+  constexpr double kFade = -12.0;
+  const auto run = [&](const StackConfig& config, std::uint64_t seed) {
+    node::SimulationOptions options;
+    options.config = config;
+    options.seed = seed;
+    options.packet_count = 600;
+    options.spatial_shadow_db = kFade;
+    return metrics::MeasureConfig(options);
+  };
+
+  const auto static_m = run(static_config, 42);
+
+  AdaptiveControllerConfig policy;
+  policy.objective = AdaptationObjective::kEnergy;
+  policy.radio_loss_ceiling = 0.05;
+  AdaptiveController controller(models, static_config, policy);
+  // Feed one probing epoch's observations.
+  const auto probe = run(controller.Config(), 43);
+  for (int i = 0; i < 100; ++i) {
+    controller.ReportReception(probe.mean_snr_db);
+  }
+  (void)controller.MaybeReconfigure();
+  const auto adapted_m = run(controller.Config(), 44);
+
+  EXPECT_LT(adapted_m.plr_total, static_m.plr_total + 0.02);
+  EXPECT_LT(adapted_m.energy_uj_per_bit, static_m.energy_uj_per_bit);
+}
+
+}  // namespace
+}  // namespace wsnlink::core::opt

@@ -1,0 +1,59 @@
+// Tests for the command-line flag parser.
+#include <gtest/gtest.h>
+
+#include "util/args.h"
+
+namespace wsnlink::util {
+namespace {
+
+Args Parse(std::vector<const char*> argv,
+           const std::vector<std::string>& switches = {}) {
+  argv.insert(argv.begin(), "tool");
+  return Args(static_cast<int>(argv.size()), argv.data(), switches);
+}
+
+TEST(Args, FlagsAndPositionals) {
+  const auto args =
+      Parse({"--out", "file.csv", "input.csv", "--stride", "31"});
+  EXPECT_EQ(args.GetString("--out", ""), "file.csv");
+  EXPECT_EQ(args.GetSize("--stride", 1), 31u);
+  ASSERT_EQ(args.Positional().size(), 1u);
+  EXPECT_EQ(args.Positional()[0], "input.csv");
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const auto args = Parse({});
+  EXPECT_EQ(args.GetString("--objective", "energy"), "energy");
+  EXPECT_DOUBLE_EQ(args.GetDouble("--distance", 20.0), 20.0);
+  EXPECT_EQ(args.GetInt("--packets", 300), 300);
+  EXPECT_FALSE(args.Get("--out").has_value());
+}
+
+TEST(Args, Switches) {
+  const auto args = Parse({"--verify", "--distance", "25"}, {"--verify"});
+  EXPECT_TRUE(args.Has("--verify"));
+  EXPECT_FALSE(args.Has("--quiet"));
+  EXPECT_DOUBLE_EQ(args.GetDouble("--distance", 0.0), 25.0);
+}
+
+TEST(Args, MissingValueThrows) {
+  EXPECT_THROW(Parse({"--out"}), std::invalid_argument);
+}
+
+TEST(Args, BadNumericValueThrows) {
+  const auto args = Parse({"--distance", "12abc"});
+  EXPECT_THROW((void)args.GetDouble("--distance", 0.0),
+               std::invalid_argument);
+  const auto args2 = Parse({"--packets", "1.5"});
+  EXPECT_THROW((void)args2.GetInt("--packets", 0), std::invalid_argument);
+}
+
+TEST(Args, SwitchBeforeValueFlagNotConfused) {
+  // A switch must not swallow the next token.
+  const auto args = Parse({"--verify", "positional"}, {"--verify"});
+  EXPECT_TRUE(args.Has("--verify"));
+  ASSERT_EQ(args.Positional().size(), 1u);
+}
+
+}  // namespace
+}  // namespace wsnlink::util

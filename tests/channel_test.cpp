@@ -1,0 +1,341 @@
+// Unit + statistical tests for the channel substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "channel/ber.h"
+#include "channel/channel.h"
+#include "channel/noise.h"
+#include "channel/path_loss.h"
+#include "channel/shadowing.h"
+#include "sim/time.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace wsnlink::channel {
+namespace {
+
+// ----------------------------------------------------------- path loss ----
+
+TEST(PathLoss, ReferenceDistanceLoss) {
+  PathLoss pl(PathLossParams{});
+  EXPECT_DOUBLE_EQ(pl.MeanLossDb(1.0), 38.0);
+}
+
+TEST(PathLoss, TenXDistanceAddsTenNdB) {
+  PathLossParams params;
+  params.exponent = 2.19;
+  PathLoss pl(params);
+  EXPECT_NEAR(pl.MeanLossDb(10.0) - pl.MeanLossDb(1.0), 21.9, 1e-9);
+  EXPECT_NEAR(pl.MeanLossDb(20.0) - pl.MeanLossDb(2.0), 21.9, 1e-9);
+}
+
+TEST(PathLoss, MonotonicInDistance) {
+  PathLoss pl(PathLossParams{});
+  double prev = -1e9;
+  for (double d = 1.0; d <= 40.0; d += 0.5) {
+    const double loss = pl.MeanLossDb(d);
+    EXPECT_GT(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST(PathLoss, RssiIsTxMinusLoss) {
+  PathLoss pl(PathLossParams{});
+  EXPECT_NEAR(pl.MeanRssiDbm(0.0, 35.0), -(38.0 + 21.9 * std::log10(35.0)),
+              1e-9);
+}
+
+TEST(PathLoss, SpatialShadowHasConfiguredSigma) {
+  PathLoss pl(PathLossParams{});
+  util::Rng rng(3);
+  util::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(pl.SampleSpatialShadow(rng));
+  EXPECT_NEAR(stats.Mean(), 0.0, 0.08);
+  EXPECT_NEAR(stats.StdDev(), 3.2, 0.08);
+}
+
+TEST(PathLoss, RejectsInvalidParams) {
+  PathLossParams bad;
+  bad.exponent = 0.0;
+  EXPECT_THROW(PathLoss{bad}, std::invalid_argument);
+  PathLoss good{PathLossParams{}};
+  EXPECT_THROW((void)good.MeanLossDb(0.0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- shadowing ----
+
+TEST(Shadowing, StationarySigmaMatches) {
+  ShadowingParams params;
+  params.sigma_db = 2.0;
+  params.coherence = 100 * sim::kMillisecond;
+  ShadowingProcess process(params, util::Rng(4));
+  util::RunningStats stats;
+  // Sample far apart (10x coherence) for near-independent draws.
+  for (int i = 0; i < 5000; ++i) {
+    stats.Add(process.Sample(static_cast<sim::Time>(i) * sim::kSecond));
+  }
+  EXPECT_NEAR(stats.Mean(), 0.0, 0.15);
+  EXPECT_NEAR(stats.StdDev(), 2.0, 0.15);
+}
+
+TEST(Shadowing, CloseSamplesAreCorrelated) {
+  ShadowingParams params;
+  params.sigma_db = 2.0;
+  params.coherence = 2 * sim::kSecond;
+  ShadowingProcess process(params, util::Rng(5));
+  // Consecutive samples 1 ms apart should barely move.
+  const double first = process.Sample(0);
+  const double second = process.Sample(sim::kMillisecond);
+  EXPECT_NEAR(first, second, 0.5);
+}
+
+TEST(Shadowing, TimeMovingBackwardsThrows) {
+  ShadowingProcess process(ShadowingParams{}, util::Rng(6));
+  (void)process.Sample(1000);
+  EXPECT_THROW((void)process.Sample(500), std::logic_error);
+}
+
+TEST(Shadowing, DefaultSigmaLargestAt35m) {
+  EXPECT_GT(DefaultTemporalSigmaDb(35.0), DefaultTemporalSigmaDb(20.0));
+  EXPECT_GT(DefaultTemporalSigmaDb(35.0), DefaultTemporalSigmaDb(30.0));
+  EXPECT_DOUBLE_EQ(DefaultTemporalSigmaDb(10.0), DefaultTemporalSigmaDb(20.0));
+}
+
+TEST(Shadowing, ZeroSigmaIsConstantZeroProcess) {
+  ShadowingParams params;
+  params.sigma_db = 0.0;
+  ShadowingProcess process(params, util::Rng(7));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(process.Sample(i * sim::kSecond), 0.0);
+  }
+}
+
+// ------------------------------------------------------------- noise ----
+
+TEST(Noise, MeanNearMinus95) {
+  NoiseFloorProcess process(NoiseParams{}, util::Rng(8));
+  util::RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.Add(process.SampleDbm(static_cast<sim::Time>(i) * 500));
+  }
+  EXPECT_NEAR(stats.Mean(), -95.0, 0.5);
+}
+
+TEST(Noise, DistributionIsRightSkewed) {
+  // Interference bursts push samples up, so mean > median.
+  NoiseFloorProcess process(NoiseParams{}, util::Rng(9));
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) {
+    samples.push_back(process.SampleDbm(static_cast<sim::Time>(i) * 500));
+  }
+  EXPECT_GT(util::Mean(samples), util::Median(samples));
+}
+
+TEST(Noise, NoBurstsWhenRateZero) {
+  NoiseParams params;
+  params.burst_rate_hz = 0.0;
+  NoiseFloorProcess process(params, util::Rng(10));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(process.InterferenceActive(i * sim::kSecond));
+  }
+}
+
+TEST(Noise, BurstsOccurAtConfiguredRate) {
+  NoiseParams params;
+  params.burst_rate_hz = 2.0;
+  params.burst_mean_duration = 50 * sim::kMillisecond;
+  NoiseFloorProcess process(params, util::Rng(11));
+  int active = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (process.InterferenceActive(static_cast<sim::Time>(i) * 1000)) ++active;
+  }
+  // Duty cycle ~ rate * duration = 0.1.
+  EXPECT_NEAR(static_cast<double>(active) / n, 0.1, 0.035);
+}
+
+// --------------------------------------------------------------- BER ----
+
+TEST(Ber, AnalyticCurveIsMonotoneDecreasing) {
+  AnalyticOQpskBer ber;
+  double prev = 1.0;
+  for (double snr = -5.0; snr <= 15.0; snr += 0.5) {
+    const double b = ber.BitErrorRate(snr);
+    EXPECT_LE(b, prev + 1e-12);
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 0.5);
+    prev = b;
+  }
+}
+
+TEST(Ber, AnalyticCliffIsSharp) {
+  // The textbook DSSS curve collapses over a few dB.
+  AnalyticOQpskBer ber;
+  EXPECT_GT(ber.BitErrorRate(-2.0), 2e-3);
+  EXPECT_LT(ber.BitErrorRate(6.0), 1e-8);
+}
+
+TEST(Ber, CalibratedMatchesPaperPerModelAtAttemptLevel) {
+  // One attempt = 19 B overhead + payload data frame, plus an 11 B ACK.
+  // For large payloads the attempt failure probability must approximate
+  // the paper's Eq. (3): 0.0128 * l * exp(-0.15 snr).
+  CalibratedExponentialBer ber;
+  for (const double l : {80.0, 110.0}) {
+    for (double snr = 12.0; snr <= 22.0; snr += 2.0) {
+      const double data_fail =
+          1.0 - ber.FrameSuccessProbability(snr, static_cast<int>(l) + 19);
+      const double ack_fail = 1.0 - ber.FrameSuccessProbability(snr, 11);
+      const double attempt_fail =
+          1.0 - (1.0 - data_fail) * (1.0 - ack_fail);
+      const double per_paper = 0.0128 * l * std::exp(-0.15 * snr);
+      EXPECT_NEAR(attempt_fail, per_paper, 0.25 * per_paper)
+          << "l=" << l << " snr=" << snr;
+    }
+  }
+}
+
+TEST(Ber, CalibratedFrameLossLinearInBytes) {
+  // The empirical law: loss scales linearly with frame size (Eq. 3's
+  // shape), not as an independent-bit-error power.
+  CalibratedExponentialBer ber;
+  const double loss1 = 1.0 - ber.FrameSuccessProbability(15.0, 50);
+  const double loss2 = 1.0 - ber.FrameSuccessProbability(15.0, 100);
+  EXPECT_NEAR(loss2, 2.0 * loss1, 1e-9);
+  // And saturates at total loss instead of going negative.
+  EXPECT_DOUBLE_EQ(ber.FrameSuccessProbability(-30.0, 127), 0.0);
+}
+
+TEST(Ber, AnalyticFrameSuccessComposesBitErrors) {
+  AnalyticOQpskBer ber;
+  const double p1 = ber.FrameSuccessProbability(1.0, 50);
+  const double p2 = ber.FrameSuccessProbability(1.0, 100);
+  EXPECT_NEAR(p2, p1 * p1, 1e-9);
+}
+
+TEST(Ber, CalibratedCurveSmootherThanAnalytic) {
+  // Span of SNR taking PER(133B frame) from 0.9 to 0.1 is wider for the
+  // calibrated curve — the paper's observed smooth grey zone.
+  const auto transition_width = [](const BerModel& ber) {
+    double snr_90 = 0.0;
+    double snr_10 = 0.0;
+    for (double snr = -10.0; snr < 40.0; snr += 0.01) {
+      const double per = 1.0 - ber.FrameSuccessProbability(snr, 133);
+      if (per > 0.9) snr_90 = snr;
+      if (per > 0.1) snr_10 = snr;
+    }
+    return snr_10 - snr_90;
+  };
+  EXPECT_GT(transition_width(CalibratedExponentialBer()),
+            3.0 * transition_width(AnalyticOQpskBer()));
+}
+
+TEST(Ber, InvalidConstruction) {
+  EXPECT_THROW(CalibratedExponentialBer(0.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(CalibratedExponentialBer(0.1, 0.1), std::invalid_argument);
+  CalibratedExponentialBer ok;
+  EXPECT_THROW((void)ok.FrameSuccessProbability(10.0, 0),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ channel ----
+
+ChannelConfig TestConfig(double distance) {
+  ChannelConfig config;
+  config.distance_m = distance;
+  return config;
+}
+
+TEST(Channel, MeanRssiFollowsPathLoss) {
+  Channel ch(TestConfig(20.0), util::Rng(12));
+  const double expected = 0.0 - (38.0 + 21.9 * std::log10(20.0));
+  EXPECT_NEAR(ch.MeanRssiDbm(0.0), expected, 1e-9);
+  EXPECT_NEAR(ch.MeanSnrDb(0.0), expected + 95.6, 1e-9);
+}
+
+TEST(Channel, StrongLinkDeliversAlmostEverything) {
+  Channel ch(TestConfig(5.0), util::Rng(13));
+  int delivered = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto out = ch.Transmit(0.0, 133, static_cast<sim::Time>(i) * 10000);
+    if (out.received) ++delivered;
+  }
+  EXPECT_GT(delivered, 1900);
+}
+
+TEST(Channel, BelowSensitivityNothingArrives) {
+  ChannelConfig config = TestConfig(35.0);
+  Channel ch(config, util::Rng(14));
+  // -25 dBm at 35 m: RSSI ~= -98.7 dBm, below the -97 dBm sensitivity.
+  int delivered = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto out =
+        ch.Transmit(-25.0, 20, static_cast<sim::Time>(i) * 10000);
+    if (out.received) ++delivered;
+  }
+  EXPECT_LT(delivered, 100);  // only shadowing excursions can save a frame
+}
+
+TEST(Channel, PerIncreasesWithFrameSize) {
+  // Medium link: larger frames fail more often.
+  const auto loss_rate = [](int frame_bytes) {
+    Channel ch(TestConfig(30.0), util::Rng(15));
+    int lost = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+      const auto out =
+          ch.Transmit(-10.0, frame_bytes, static_cast<sim::Time>(i) * 5000);
+      if (!out.received) ++lost;
+    }
+    return static_cast<double>(lost) / n;
+  };
+  EXPECT_GT(loss_rate(130), loss_rate(25) + 0.02);
+}
+
+TEST(Channel, SnrIsRssiMinusNoise) {
+  Channel ch(TestConfig(20.0), util::Rng(16));
+  const auto out = ch.Transmit(0.0, 50, 0);
+  EXPECT_NEAR(out.snr_db, out.rssi_dbm - out.noise_dbm, 1e-12);
+}
+
+TEST(Channel, LqiCorrelatesWithSnr) {
+  Channel strong(TestConfig(5.0), util::Rng(17));
+  Channel weak(TestConfig(35.0), util::Rng(17));
+  util::RunningStats lqi_strong;
+  util::RunningStats lqi_weak;
+  for (int i = 0; i < 500; ++i) {
+    lqi_strong.Add(strong.Transmit(0.0, 50, i * 10000).lqi);
+    lqi_weak.Add(weak.Transmit(-15.0, 50, i * 10000).lqi);
+  }
+  EXPECT_GT(lqi_strong.Mean(), lqi_weak.Mean() + 10.0);
+}
+
+TEST(Channel, DeterministicForSameSeed) {
+  Channel a(TestConfig(25.0), util::Rng(18));
+  Channel b(TestConfig(25.0), util::Rng(18));
+  for (int i = 0; i < 200; ++i) {
+    const auto oa = a.Transmit(-5.0, 70, i * 1000);
+    const auto ob = b.Transmit(-5.0, 70, i * 1000);
+    EXPECT_EQ(oa.received, ob.received);
+    EXPECT_DOUBLE_EQ(oa.rssi_dbm, ob.rssi_dbm);
+    EXPECT_DOUBLE_EQ(oa.snr_db, ob.snr_db);
+    EXPECT_EQ(oa.lqi, ob.lqi);
+  }
+}
+
+TEST(Channel, NullBerModelRejected) {
+  EXPECT_THROW(Channel(TestConfig(10.0), nullptr, util::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(Channel, SpatialShadowShiftsMeanRssi) {
+  ChannelConfig config = TestConfig(20.0);
+  config.spatial_shadow_db = 5.0;
+  Channel shifted(config, util::Rng(19));
+  Channel base(TestConfig(20.0), util::Rng(19));
+  EXPECT_NEAR(shifted.MeanRssiDbm(0.0) - base.MeanRssiDbm(0.0), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace wsnlink::channel

@@ -1,0 +1,163 @@
+// Tests for the sweep driver, dataset export and campaign.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "experiment/campaign.h"
+#include "experiment/dataset.h"
+#include "experiment/sweep.h"
+#include "util/csv.h"
+
+namespace wsnlink::experiment {
+namespace {
+
+std::vector<core::StackConfig> SmallConfigSet() {
+  std::vector<core::StackConfig> configs;
+  for (const int level : {11, 19, 31}) {
+    core::StackConfig config;
+    config.distance_m = 25.0;
+    config.pa_level = level;
+    config.max_tries = 3;
+    config.queue_capacity = 5;
+    config.pkt_interval_ms = 50.0;
+    config.payload_bytes = 80;
+    configs.push_back(config);
+  }
+  return configs;
+}
+
+TEST(Sweep, ResultsParallelInputOrder) {
+  SweepOptions options;
+  options.packet_count = 100;
+  const auto points = RunSweep(SmallConfigSet(), options);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].config.pa_level, 11);
+  EXPECT_EQ(points[2].config.pa_level, 31);
+  // Higher power -> higher SNR.
+  EXPECT_LT(points[0].mean_snr_db, points[2].mean_snr_db);
+}
+
+TEST(Sweep, DeterministicAcrossThreadCounts) {
+  SweepOptions serial;
+  serial.packet_count = 100;
+  serial.threads = 1;
+  SweepOptions parallel;
+  parallel.packet_count = 100;
+  parallel.threads = 4;
+
+  const auto a = RunSweep(SmallConfigSet(), serial);
+  const auto b = RunSweep(SmallConfigSet(), parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].measured.goodput_kbps, b[i].measured.goodput_kbps);
+    EXPECT_DOUBLE_EQ(a[i].measured.per, b[i].measured.per);
+    EXPECT_EQ(a[i].measured.delivered_unique, b[i].measured.delivered_unique);
+  }
+}
+
+TEST(Sweep, ProgressCallbackReachesTotal) {
+  SweepOptions options;
+  options.packet_count = 50;
+  options.threads = 2;
+  std::atomic<std::size_t> last{0};
+  options.progress = [&last](std::size_t done, std::size_t total) {
+    EXPECT_LE(done, total);
+    std::size_t prev = last.load();
+    while (done > prev && !last.compare_exchange_weak(prev, done)) {
+    }
+  };
+  const auto points = RunSweep(SmallConfigSet(), options);
+  EXPECT_EQ(last.load(), points.size());
+}
+
+TEST(Sweep, RawVariantReturnsFullResults) {
+  SweepOptions options;
+  options.packet_count = 60;
+  const auto results = RunSweepRaw(SmallConfigSet(), options);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.generated, 60);
+    EXPECT_EQ(r.log.Packets().size(), 60u);
+    EXPECT_FALSE(r.log.Attempts().empty());
+  }
+  // Raw and metric sweeps are seeded identically per index.
+  const auto points = RunSweep(SmallConfigSet(), options);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(points[i].measured.delivered_unique,
+              results[i].unique_delivered);
+  }
+}
+
+TEST(Sweep, SeedsDifferPerIndex) {
+  EXPECT_NE(SweepSeed(1, 0), SweepSeed(1, 1));
+  EXPECT_NE(SweepSeed(1, 0), SweepSeed(2, 0));
+  EXPECT_EQ(SweepSeed(5, 3), SweepSeed(5, 3));
+}
+
+TEST(Dataset, SummaryRoundTrip) {
+  SweepOptions options;
+  options.packet_count = 80;
+  const auto points = RunSweep(SmallConfigSet(), options);
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "wsn_summary.csv").string();
+  WriteSummaryCsv(path, points);
+  const auto loaded = ReadSummaryCsv(path);
+  ASSERT_EQ(loaded.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(loaded[i].config.pa_level, points[i].config.pa_level);
+    EXPECT_NEAR(loaded[i].measured.goodput_kbps,
+                points[i].measured.goodput_kbps, 1e-4);
+    EXPECT_NEAR(loaded[i].measured.per, points[i].measured.per, 1e-5);
+    EXPECT_EQ(loaded[i].measured.delivered_unique,
+              points[i].measured.delivered_unique);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Dataset, PacketLogCsvHasRowPerPacket) {
+  node::SimulationOptions options;
+  options.config = SmallConfigSet()[0];
+  options.packet_count = 60;
+  options.seed = 4;
+  const auto result = node::RunLinkSimulation(options);
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "wsn_packets.csv").string();
+  WritePacketLogCsv(path, result.log);
+  const auto data = util::ReadCsv(path);
+  EXPECT_EQ(data.rows.size(), 60u);
+  EXPECT_EQ(data.headers, PacketCsvHeaders());
+  // Tries column sane.
+  const auto tries = data.NumericColumn("tries");
+  for (const double t : tries) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 3.0);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Campaign, StridedSubsampleRunsAndWritesCsv) {
+  CampaignOptions options;
+  options.packet_count = 30;
+  options.stride = 1400;  // 48384 / 1400 -> ~35 configs
+  options.summary_csv_path =
+      (std::filesystem::temp_directory_path() / "wsn_campaign.csv").string();
+  const auto result = RunCampaign(options);
+  EXPECT_GT(result.configurations, 30u);
+  EXPECT_LT(result.configurations, 40u);
+  EXPECT_EQ(result.total_packets, result.configurations * 30u);
+
+  const auto loaded = ReadSummaryCsv(options.summary_csv_path);
+  EXPECT_EQ(loaded.size(), result.configurations);
+  std::filesystem::remove(options.summary_csv_path);
+}
+
+TEST(Campaign, InvalidStrideRejected) {
+  CampaignOptions options;
+  options.stride = 0;
+  EXPECT_THROW((void)RunCampaign(options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsnlink::experiment

@@ -1,0 +1,65 @@
+// Golden regression pins: fixed-seed runs must keep producing the same
+// numbers. These protect the calibration (DESIGN.md §1) against accidental
+// drift — any intentional change to the channel, MAC timing or metric
+// definitions must update these values consciously.
+//
+// Values are pinned with tight relative tolerances rather than exact
+// equality so that benign floating-point reassociation (compiler/platform)
+// does not trip them, while any behavioural change does.
+#include <gtest/gtest.h>
+
+#include "metrics/link_metrics.h"
+#include "node/link_simulation.h"
+
+namespace wsnlink {
+namespace {
+
+constexpr double kTol = 1e-6;  // relative
+
+void ExpectNear(double actual, double pinned, const char* what) {
+  EXPECT_NEAR(actual, pinned, std::abs(pinned) * kTol + 1e-12) << what;
+}
+
+TEST(Golden, MidLinkReferenceRun) {
+  node::SimulationOptions options;
+  options.config.distance_m = 25.0;
+  options.config.pa_level = 19;
+  options.config.max_tries = 3;
+  options.config.queue_capacity = 10;
+  options.config.pkt_interval_ms = 80.0;
+  options.config.payload_bytes = 80;
+  options.packet_count = 500;
+  options.seed = 123456;
+  const auto m = metrics::MeasureConfig(options);
+
+  // Pinned on the calibrated channel (a = 0.0012, b = -0.15, preamble 3 dB)
+  // and the TinyOS timing constants. Update deliberately, never casually.
+  EXPECT_EQ(m.generated, 500);
+  EXPECT_EQ(m.delivered_unique, 495u);
+  ExpectNear(m.per, 0.033203125, "per");
+  ExpectNear(m.mean_service_ms, 18.112187999999986, "service");
+  ExpectNear(m.goodput_kbps, 7.9318694477383325, "goodput");
+  ExpectNear(m.energy_uj_per_bit, 0.21350400000000144, "energy");
+}
+
+TEST(Golden, GreyZoneReferenceRun) {
+  node::SimulationOptions options;
+  options.config.distance_m = 35.0;
+  options.config.pa_level = 11;
+  options.config.max_tries = 8;
+  options.config.queue_capacity = 5;
+  options.config.pkt_interval_ms = 60.0;
+  options.config.payload_bytes = 110;
+  options.packet_count = 400;
+  options.seed = 654321;
+  const auto m = metrics::MeasureConfig(options);
+
+  EXPECT_EQ(m.generated, 400);
+  ExpectNear(static_cast<double>(m.delivered_unique), 400.0, "delivered");
+  ExpectNear(m.per, 0.19028340080971659, "per");
+  ExpectNear(m.mean_tries_acked, 1.2650000000000001, "tries");
+  ExpectNear(m.plr_radio, 0.0, "plr_radio");
+}
+
+}  // namespace
+}  // namespace wsnlink

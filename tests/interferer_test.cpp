@@ -1,0 +1,143 @@
+// Tests for the concurrent-transmitter interference model.
+#include <gtest/gtest.h>
+
+#include "channel/channel.h"
+#include "channel/interferer.h"
+#include "metrics/link_metrics.h"
+#include "node/link_simulation.h"
+#include "util/rng.h"
+
+namespace wsnlink::channel {
+namespace {
+
+TEST(InterfererProcess, DisabledNeverActive) {
+  InterfererProcess process(InterfererParams{}, util::Rng(1));
+  for (sim::Time t = 0; t < 100 * sim::kSecond; t += sim::kSecond) {
+    EXPECT_FALSE(process.ActiveAt(t));
+  }
+}
+
+TEST(InterfererProcess, DutyCycleIsHonoured) {
+  InterfererParams params;
+  params.duty_cycle = 0.25;
+  params.frame_duration = 4 * sim::kMillisecond;
+  InterfererProcess process(params, util::Rng(2));
+  int active = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (process.ActiveAt(static_cast<sim::Time>(i) * 500)) ++active;
+  }
+  EXPECT_NEAR(static_cast<double>(active) / n, 0.25, 0.02);
+}
+
+TEST(InterfererProcess, WindowOverlapDetection) {
+  InterfererParams params;
+  params.duty_cycle = 0.5;
+  params.frame_duration = 10 * sim::kMillisecond;
+  InterfererProcess process(params, util::Rng(3));
+
+  // A long window in a 50% duty process essentially always overlaps.
+  int overlaps = 0;
+  for (int i = 0; i < 200; ++i) {
+    const sim::Time start = static_cast<sim::Time>(i) * 100'000;
+    if (process.ActiveDuring(start, start + 50'000)) ++overlaps;
+  }
+  EXPECT_GT(overlaps, 180);
+}
+
+TEST(InterfererProcess, InvalidParamsRejected) {
+  InterfererParams bad;
+  bad.duty_cycle = 1.0;
+  EXPECT_THROW(InterfererProcess(bad, util::Rng(1)), std::invalid_argument);
+  bad.duty_cycle = -0.1;
+  EXPECT_THROW(InterfererProcess(bad, util::Rng(1)), std::invalid_argument);
+  InterfererParams bad_frame;
+  bad_frame.duty_cycle = 0.1;
+  bad_frame.frame_duration = 0;
+  EXPECT_THROW(InterfererProcess(bad_frame, util::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(Interferer, CollisionsLoseFramesOnStrongLink) {
+  // A strong link (loss ~0 without interference) under a 30% interferer:
+  // every overlap without capture kills a frame.
+  node::SimulationOptions options;
+  options.config.distance_m = 10.0;
+  options.config.pa_level = 31;
+  options.config.max_tries = 1;
+  options.config.queue_capacity = 1;
+  options.config.pkt_interval_ms = 60.0;
+  options.config.payload_bytes = 110;
+  options.packet_count = 800;
+  options.seed = 20;
+  options.disable_interference = true;  // isolate the collision effect
+
+  const auto clean = metrics::MeasureConfig(options);
+  options.interferer_duty_cycle = 0.3;
+  // Interferer louder than our -59.9 dBm RSSI: no capture.
+  options.interferer_power_dbm = -55.0;
+  const auto jammed = metrics::MeasureConfig(options);
+
+  EXPECT_LT(clean.plr_radio, 0.02);
+  EXPECT_GT(jammed.plr_radio, 0.10);
+}
+
+TEST(Interferer, CaptureSavesFramesFromWeakInterferer) {
+  node::SimulationOptions options;
+  options.config.distance_m = 10.0;
+  options.config.pa_level = 31;
+  options.config.max_tries = 1;
+  options.config.queue_capacity = 1;
+  options.config.pkt_interval_ms = 60.0;
+  options.config.payload_bytes = 110;
+  options.packet_count = 800;
+  options.seed = 21;
+  options.disable_interference = true;
+  options.interferer_duty_cycle = 0.3;
+  // Our RSSI at 10 m / 0 dBm is ~-59.9 dBm; a -80 dBm interferer is far
+  // below the capture margin.
+  options.interferer_power_dbm = -80.0;
+
+  const auto m = metrics::MeasureConfig(options);
+  EXPECT_LT(m.plr_radio, 0.02);
+}
+
+TEST(Interferer, RetransmissionRecoversCollisionLosses) {
+  node::SimulationOptions options;
+  options.config.distance_m = 10.0;
+  options.config.pa_level = 31;
+  options.config.queue_capacity = 5;
+  options.config.pkt_interval_ms = 80.0;
+  options.config.payload_bytes = 80;
+  options.packet_count = 600;
+  options.seed = 22;
+  options.disable_interference = true;
+  options.interferer_duty_cycle = 0.2;
+  options.interferer_power_dbm = -55.0;
+
+  options.config.max_tries = 1;
+  const auto no_retx = metrics::MeasureConfig(options);
+  options.config.max_tries = 5;
+  const auto retx = metrics::MeasureConfig(options);
+  EXPECT_LT(retx.plr_radio, no_retx.plr_radio / 2.0);
+}
+
+TEST(Interferer, CcaDefersToInterferer) {
+  // With a heavy interferer, the CSMA MAC's CCA finds the channel busy.
+  node::SimulationOptions options;
+  options.config.distance_m = 10.0;
+  options.config.max_tries = 2;
+  options.config.queue_capacity = 5;
+  options.config.pkt_interval_ms = 50.0;
+  options.config.payload_bytes = 50;
+  options.packet_count = 400;
+  options.seed = 23;
+  options.disable_interference = true;
+  options.interferer_duty_cycle = 0.4;
+
+  const auto result = node::RunLinkSimulation(options);
+  EXPECT_GT(result.cca_busy, 100u);
+}
+
+}  // namespace
+}  // namespace wsnlink::channel

@@ -1,0 +1,155 @@
+// Gap-coverage tests: listen-energy accounting, attempt CSV schema, Derive
+// overloads, edge cases collected across modules.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "channel/ber.h"
+#include "experiment/dataset.h"
+#include "metrics/link_metrics.h"
+#include "node/link_simulation.h"
+#include "phy/timing.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace wsnlink {
+namespace {
+
+// --------------------------------------------------- listen energy ----
+
+TEST(ListenEnergy, PerPacketListenTimeMatchesComponents) {
+  // Clean link, N=1: listen time = backoff + turnaround + T_ACK exactly.
+  node::SimulationOptions options;
+  options.config.distance_m = 5.0;
+  options.config.pa_level = 31;
+  options.config.max_tries = 1;
+  options.config.queue_capacity = 5;
+  options.config.pkt_interval_ms = 100.0;
+  options.config.payload_bytes = 40;
+  options.packet_count = 100;
+  options.seed = 90;
+  options.disable_interference = true;
+  const auto result = node::RunLinkSimulation(options);
+
+  for (const auto& p : result.log.Packets()) {
+    ASSERT_TRUE(p.acked);
+    const auto fixed = phy::kTurnaroundTime + phy::kAckTime;
+    EXPECT_GE(p.listen_time, fixed);
+    EXPECT_LE(p.listen_time, fixed + phy::kInitialBackoffMax);
+  }
+}
+
+TEST(ListenEnergy, MetricsExposeListenPerBit) {
+  node::SimulationOptions options;
+  options.config.distance_m = 10.0;
+  options.config.pa_level = 31;
+  options.config.max_tries = 3;
+  options.config.queue_capacity = 5;
+  options.config.pkt_interval_ms = 100.0;
+  options.config.payload_bytes = 80;
+  options.packet_count = 200;
+  options.seed = 91;
+  const auto m = metrics::MeasureConfig(options);
+  // ~12 ms listen at 56.4 mW for 640 delivered bits ~= 1.0-1.2 uJ/bit:
+  // larger than the transmit term, the classic idle-listening lesson.
+  EXPECT_GT(m.sender_listen_uj_per_bit, 0.5);
+  EXPECT_LT(m.sender_listen_uj_per_bit, 3.0);
+  EXPECT_GT(m.sender_listen_uj_per_bit, m.energy_uj_per_bit);
+  // Always-on receiver: full RX power.
+  EXPECT_NEAR(m.receiver_idle_power_mw, 56.4, 1e-9);
+}
+
+TEST(ListenEnergy, RetriesIncreaseListenTime) {
+  node::SimulationOptions options;
+  options.config.distance_m = 35.0;
+  options.config.pa_level = 11;
+  options.config.max_tries = 8;
+  options.config.queue_capacity = 5;
+  options.config.pkt_interval_ms = 100.0;
+  options.config.payload_bytes = 110;
+  options.packet_count = 400;
+  options.seed = 92;
+  const auto result = node::RunLinkSimulation(options);
+
+  double listen_1try = 0.0;
+  int n1 = 0;
+  double listen_multi = 0.0;
+  int nm = 0;
+  for (const auto& p : result.log.Packets()) {
+    if (p.dropped_at_queue || !p.acked) continue;
+    if (p.tries == 1) {
+      listen_1try += static_cast<double>(p.listen_time);
+      ++n1;
+    } else {
+      listen_multi += static_cast<double>(p.listen_time);
+      ++nm;
+    }
+  }
+  ASSERT_GT(n1, 10);
+  ASSERT_GT(nm, 10);
+  EXPECT_GT(listen_multi / nm, 1.5 * listen_1try / n1);
+}
+
+// ----------------------------------------------------- attempt CSV ----
+
+TEST(Dataset, AttemptLogCsvRoundTrip) {
+  node::SimulationOptions options;
+  options.config.distance_m = 30.0;
+  options.config.pa_level = 11;
+  options.config.max_tries = 3;
+  options.config.queue_capacity = 5;
+  options.config.pkt_interval_ms = 50.0;
+  options.config.payload_bytes = 80;
+  options.packet_count = 80;
+  options.seed = 93;
+  const auto result = node::RunLinkSimulation(options);
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "wsn_attempts.csv").string();
+  experiment::WriteAttemptLogCsv(path, result.log);
+  const auto loaded = experiment::ReadAttemptLogCsv(path);
+  ASSERT_EQ(loaded.size(), result.log.Attempts().size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].packet_id, result.log.Attempts()[i].packet_id);
+    EXPECT_EQ(loaded[i].acked, result.log.Attempts()[i].acked);
+    EXPECT_NEAR(loaded[i].snr_db, result.log.Attempts()[i].snr_db, 1e-4);
+  }
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------ misc ----
+
+TEST(Rng, NumericDeriveOverloadIndependent) {
+  util::Rng root(5);
+  util::Rng a = root.Derive(std::uint64_t{1});
+  util::Rng b = root.Derive(std::uint64_t{2});
+  EXPECT_NE(a(), b());
+  // Deterministic.
+  util::Rng a2 = util::Rng(5).Derive(std::uint64_t{1});
+  EXPECT_EQ(util::Rng(5).Derive(std::uint64_t{1})(), a2());
+}
+
+TEST(Timing, NegativeMillisecondsRound) {
+  EXPECT_EQ(sim::FromMilliseconds(-1.5), -1500);
+}
+
+TEST(Ber, ModelNamesDistinct) {
+  EXPECT_EQ(channel::AnalyticOQpskBer().Name(), "analytic-oqpsk");
+  EXPECT_EQ(channel::CalibratedExponentialBer().Name(), "calibrated-exp");
+  EXPECT_EQ(channel::MakeDefaultBerModel()->Name(), "calibrated-exp");
+}
+
+TEST(Histogram, AsciiRendersBars) {
+  util::Histogram h(0.0, 3.0, 3);
+  h.Add(0.5, 10);
+  h.Add(1.5, 5);
+  const auto art = h.ToAscii(20);
+  // The fuller bin renders a longer bar.
+  const auto first_bar = art.find("####################");
+  EXPECT_NE(first_bar, std::string::npos);
+  EXPECT_NE(art.find(" 10\n"), std::string::npos);
+  EXPECT_NE(art.find(" 5\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsnlink

@@ -1,0 +1,163 @@
+// Cross-model consistency properties, swept over a (payload, SNR) grid.
+//
+// These are the algebraic relationships the model family must satisfy for
+// ANY input — the analogue of the simulator's property suite, but for the
+// paper's equations themselves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/models/model_set.h"
+#include "phy/frame.h"
+
+namespace wsnlink::core::models {
+namespace {
+
+struct GridPoint {
+  int payload;
+  double snr_db;
+};
+
+class ModelGrid : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(ModelGrid, ServiceTimeOrdering) {
+  const ServiceTimeModel model;
+  for (const int tries : {1, 3, 8}) {
+    ServiceTimeInputs in;
+    in.payload_bytes = GetParam().payload;
+    in.snr_db = GetParam().snr_db;
+    in.max_tries = tries;
+    const double delivered = model.DeliveredMs(in);
+    const double lost = model.LostMs(in);
+    const double mean = model.MeanMs(in);
+    // A delivery can never take longer (in expectation) than exhausting
+    // the whole retry budget, and the mixture sits between the branches.
+    EXPECT_LE(delivered, lost + 1e-9);
+    EXPECT_GE(mean, delivered - 1e-9);
+    EXPECT_LE(mean, lost + 1e-9);
+    EXPECT_GT(delivered, 0.0);
+  }
+}
+
+TEST_P(ModelGrid, ServiceTimeMonotoneInRetryDelay) {
+  const ServiceTimeModel model;
+  ServiceTimeInputs in;
+  in.payload_bytes = GetParam().payload;
+  in.snr_db = GetParam().snr_db;
+  in.max_tries = 3;
+  double prev = -1.0;
+  for (const double retry : {0.0, 30.0, 60.0, 120.0}) {
+    in.retry_delay_ms = retry;
+    const double mean = model.MeanMs(in);
+    EXPECT_GE(mean, prev);
+    prev = mean;
+  }
+}
+
+TEST_P(ModelGrid, PerAndPlrBaseAgreeInShape) {
+  // Eq. 3 and Eq. 8's base are independent fits of nearly the same thing;
+  // they must agree within a factor ~2 everywhere both are meaningful.
+  const PerModel per;
+  const PlrModel plr;
+  const double a = per.Per(GetParam().payload, GetParam().snr_db);
+  const double b = plr.AttemptLoss(GetParam().payload, GetParam().snr_db);
+  if (a > 1e-4 && a < 1.0 && b < 1.0) {
+    EXPECT_LT(std::abs(std::log(a / b)), std::log(2.2))
+        << "per=" << a << " base=" << b;
+  }
+}
+
+TEST_P(ModelGrid, GoodputMonotoneInSnr) {
+  const GoodputModel model;
+  ServiceTimeInputs in;
+  in.payload_bytes = GetParam().payload;
+  in.max_tries = 3;
+  in.snr_db = GetParam().snr_db;
+  const double here = model.MaxGoodputKbps(in);
+  in.snr_db = GetParam().snr_db + 3.0;
+  const double better_link = model.MaxGoodputKbps(in);
+  EXPECT_GE(better_link, here - 1e-9);
+}
+
+TEST_P(ModelGrid, RetriesMonotoneLossBoundedGoodputEffect) {
+  // Radio loss is strictly monotone in the retry budget (Eq. 8). Goodput
+  // is NOT (a fast failed slot can beat a slow recovery in Eq. 4 — the
+  // grey-zone trade-off the paper discusses), but its swing across budgets
+  // stays bounded.
+  const GoodputModel goodput;
+  const PlrModel plr;
+  ServiceTimeInputs in;
+  in.payload_bytes = GetParam().payload;
+  in.snr_db = GetParam().snr_db;
+
+  double prev_loss = 2.0;
+  double min_goodput = 1e18;
+  double max_goodput = 0.0;
+  for (const int tries : {1, 2, 3, 5, 8}) {
+    in.max_tries = tries;
+    const double g = goodput.MaxGoodputKbps(in);
+    const double l = plr.RadioLoss(GetParam().payload, GetParam().snr_db, tries);
+    EXPECT_LE(l, prev_loss + 1e-12);
+    prev_loss = l;
+    min_goodput = std::min(min_goodput, g);
+    max_goodput = std::max(max_goodput, g);
+  }
+  EXPECT_GT(min_goodput, 0.0);
+  EXPECT_LT(max_goodput, 2.0 * min_goodput + 1e-9);
+}
+
+TEST_P(ModelGrid, EnergyDecreasesWithSnrAtFixedPower) {
+  const EnergyModel model;
+  const double here =
+      model.MicrojoulesPerBit(GetParam().payload, GetParam().snr_db, 31);
+  const double better =
+      model.MicrojoulesPerBit(GetParam().payload, GetParam().snr_db + 3.0, 31);
+  if (std::isfinite(here)) {
+    EXPECT_LE(better, here + 1e-12);
+  }
+}
+
+TEST_P(ModelGrid, UtilizationScalesInverselyWithInterval) {
+  const DelayModel model;
+  ServiceTimeInputs in;
+  in.payload_bytes = GetParam().payload;
+  in.snr_db = GetParam().snr_db;
+  in.max_tries = 3;
+  const double rho_50 = model.Utilization(in, 50.0);
+  const double rho_100 = model.Utilization(in, 100.0);
+  EXPECT_NEAR(rho_50, 2.0 * rho_100, 1e-9);
+}
+
+TEST_P(ModelGrid, PredictionInternallyConsistent) {
+  ModelSet models;
+  StackConfig config;
+  config.payload_bytes = GetParam().payload;
+  config.max_tries = 3;
+  config.queue_capacity = 10;
+  config.pkt_interval_ms = 80.0;
+  const auto p = models.PredictAtSnr(config, GetParam().snr_db);
+  // Total loss composes queue and radio loss.
+  EXPECT_NEAR(p.plr_total,
+              1.0 - (1.0 - p.plr_queue) * (1.0 - p.plr_radio), 1e-12);
+  // Delay includes at least the service time.
+  EXPECT_GE(p.total_delay_ms, p.service_time_ms - 1e-9);
+  // Stability predicate consistent with rho.
+  EXPECT_EQ(p.plr_queue > 0.0, p.utilization > 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PayloadSnrGrid, ModelGrid,
+    ::testing::Values(GridPoint{5, 6.0}, GridPoint{5, 15.0},
+                      GridPoint{5, 25.0}, GridPoint{50, 6.0},
+                      GridPoint{50, 12.0}, GridPoint{50, 20.0},
+                      GridPoint{110, 7.0}, GridPoint{110, 14.0},
+                      GridPoint{110, 22.0}, GridPoint{114, 9.0},
+                      GridPoint{114, 19.0}, GridPoint{114, 30.0}),
+    [](const ::testing::TestParamInfo<GridPoint>& info) {
+      return "l" + std::to_string(info.param.payload) + "_s" +
+             std::to_string(static_cast<int>(info.param.snr_db));
+    });
+
+}  // namespace
+}  // namespace wsnlink::core::models

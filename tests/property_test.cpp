@@ -1,0 +1,278 @@
+// Property-based tests: structural invariants that must hold for ANY
+// configuration, checked over a deterministic sample of the Table I space
+// plus adversarial (failure-injection) scenarios.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/models/model_set.h"
+#include "core/opt/config_space.h"
+#include "metrics/link_metrics.h"
+#include "node/link_simulation.h"
+#include "phy/cc2420.h"
+#include "phy/frame.h"
+
+namespace wsnlink {
+namespace {
+
+/// Indices into the Table I space, spread across all dimensions (the space
+/// is row-major with payload fastest, distance slowest).
+class ConfigSpaceSample : public ::testing::TestWithParam<std::size_t> {};
+
+node::SimulationOptions OptionsFor(std::size_t index) {
+  const auto space = core::opt::ConfigSpace::PaperTableI();
+  node::SimulationOptions options;
+  options.config = space.At(index % space.Size());
+  options.seed = 0xABCD + index;
+  options.packet_count = 120;
+  return options;
+}
+
+TEST_P(ConfigSpaceSample, PacketConservation) {
+  const auto options = OptionsFor(GetParam());
+  const auto result = node::RunLinkSimulation(options);
+
+  std::size_t drops = 0;
+  std::size_t served_delivered = 0;
+  std::size_t served_lost = 0;
+  for (const auto& p : result.log.Packets()) {
+    if (p.dropped_at_queue) {
+      ++drops;
+    } else if (p.delivered) {
+      ++served_delivered;
+    } else {
+      ++served_lost;
+    }
+  }
+  EXPECT_EQ(result.log.Packets().size(),
+            static_cast<std::size_t>(result.generated));
+  EXPECT_EQ(drops + served_delivered + served_lost,
+            static_cast<std::size_t>(result.generated));
+  EXPECT_EQ(served_delivered, result.unique_delivered);
+}
+
+TEST_P(ConfigSpaceSample, TimestampsAreOrdered) {
+  const auto options = OptionsFor(GetParam());
+  const auto result = node::RunLinkSimulation(options);
+  for (const auto& p : result.log.Packets()) {
+    if (p.dropped_at_queue) {
+      EXPECT_EQ(p.service_start, link::kNever);
+      EXPECT_EQ(p.completed_at, link::kNever);
+      EXPECT_EQ(p.tries, 0);
+      continue;
+    }
+    EXPECT_GE(p.service_start, p.arrived_at);
+    EXPECT_GT(p.completed_at, p.service_start);
+    if (p.first_delivered_at != link::kNever) {
+      EXPECT_GT(p.first_delivered_at, p.service_start);
+      EXPECT_LE(p.first_delivered_at, p.completed_at);
+    } else {
+      EXPECT_FALSE(p.delivered);
+    }
+  }
+}
+
+TEST_P(ConfigSpaceSample, TriesWithinBudget) {
+  const auto options = OptionsFor(GetParam());
+  const auto result = node::RunLinkSimulation(options);
+  for (const auto& p : result.log.Packets()) {
+    if (p.dropped_at_queue) continue;
+    EXPECT_GE(p.tries, 1);
+    EXPECT_LE(p.tries, options.config.max_tries);
+    // An acked packet cannot have been dropped or undelivered.
+    if (p.acked) {
+      EXPECT_TRUE(p.delivered);
+    }
+  }
+}
+
+TEST_P(ConfigSpaceSample, EnergyMatchesAttemptAccounting) {
+  const auto options = OptionsFor(GetParam());
+  const auto result = node::RunLinkSimulation(options);
+
+  // Packet energy equals tries * per-attempt frame energy (CSMA: one frame
+  // per try; CCA-exhausted tries radiate nothing, so energy can only be
+  // lower, never higher).
+  const double per_attempt =
+      phy::EnergyPerBitMicrojoule(options.config.pa_level) * 8.0 *
+      static_cast<double>(phy::DataFrameBytes(options.config.payload_bytes));
+  for (const auto& p : result.log.Packets()) {
+    EXPECT_LE(p.tx_energy_uj, p.tries * per_attempt + 1e-9);
+    if (result.cca_busy == 0) {
+      EXPECT_NEAR(p.tx_energy_uj, p.tries * per_attempt, 1e-9);
+    }
+  }
+}
+
+TEST_P(ConfigSpaceSample, QueueDepthBounded) {
+  const auto options = OptionsFor(GetParam());
+  const auto result = node::RunLinkSimulation(options);
+  for (const auto& p : result.log.Packets()) {
+    EXPECT_GE(p.queue_depth_at_arrival, 0);
+    EXPECT_LE(p.queue_depth_at_arrival, options.config.queue_capacity);
+    if (p.dropped_at_queue) {
+      EXPECT_EQ(p.queue_depth_at_arrival, options.config.queue_capacity);
+    }
+  }
+}
+
+TEST_P(ConfigSpaceSample, MetricsWithinRanges) {
+  const auto options = OptionsFor(GetParam());
+  const auto m = metrics::MeasureConfig(options);
+  EXPECT_GE(m.per, 0.0);
+  EXPECT_LE(m.per, 1.0);
+  for (const double rate : {m.plr_queue, m.plr_radio, m.plr_total}) {
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+  }
+  EXPECT_GE(m.goodput_kbps, 0.0);
+  EXPECT_LT(m.goodput_kbps, 250.0);  // cannot exceed the PHY rate
+  EXPECT_GE(m.mean_queue_wait_ms, 0.0);
+  if (m.delivered_unique > 0) {
+    EXPECT_GT(m.energy_uj_per_bit, 0.0);
+    EXPECT_GE(m.p99_delay_ms, 0.0);
+  }
+}
+
+TEST_P(ConfigSpaceSample, DeterministicRerun) {
+  const auto options = OptionsFor(GetParam());
+  const auto a = metrics::MeasureConfig(options);
+  const auto b = metrics::MeasureConfig(options);
+  EXPECT_DOUBLE_EQ(a.goodput_kbps, b.goodput_kbps);
+  EXPECT_DOUBLE_EQ(a.energy_uj_per_bit, b.energy_uj_per_bit);
+  EXPECT_DOUBLE_EQ(a.mean_delay_ms, b.mean_delay_ms);
+  EXPECT_EQ(a.delivered_unique, b.delivered_unique);
+}
+
+TEST_P(ConfigSpaceSample, ModelPredictionsAreFiniteAndConsistent) {
+  const auto options = OptionsFor(GetParam());
+  const core::models::ModelSet models;
+  const auto p = models.Predict(options.config);
+  EXPECT_GE(p.per, 0.0);
+  EXPECT_LE(p.per, 1.0);
+  EXPECT_GE(p.plr_radio, 0.0);
+  EXPECT_LE(p.plr_radio, 1.0);
+  EXPECT_GT(p.service_time_ms, 0.0);
+  EXPECT_TRUE(std::isfinite(p.service_time_ms));
+  EXPECT_GE(p.mean_tries, 1.0);
+  EXPECT_LE(p.mean_tries, static_cast<double>(options.config.max_tries));
+  EXPECT_GE(p.max_goodput_kbps, 0.0);
+  EXPECT_GE(p.total_delay_ms, p.service_time_ms - 1e-9);
+  // Energy may be +inf on dead links but never negative or NaN.
+  EXPECT_FALSE(std::isnan(p.energy_uj_per_bit));
+  EXPECT_GE(p.energy_uj_per_bit, 0.0);
+}
+
+// Spread 16 indices across the 48384-point space (coprime stride).
+INSTANTIATE_TEST_SUITE_P(
+    TableISample, ConfigSpaceSample,
+    ::testing::Values(0, 3023, 6046, 9069, 12092, 15115, 18138, 21161, 24184,
+                      27207, 30230, 33253, 36276, 39299, 42322, 48383),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return "idx" + std::to_string(info.param);
+    });
+
+// ------------------------------------------------- failure injection ----
+
+TEST(FailureInjection, NearJammedChannelStillTerminates) {
+  node::SimulationOptions options;
+  options.config.distance_m = 10.0;
+  options.config.max_tries = 8;
+  options.config.queue_capacity = 30;
+  options.config.pkt_interval_ms = 20.0;
+  options.config.payload_bytes = 110;
+  options.packet_count = 200;
+  options.seed = 77;
+  options.interferer_duty_cycle = 0.9;  // near-continuous jamming
+  options.interferer_power_dbm = -40.0;
+
+  const auto result = node::RunLinkSimulation(options);
+  const auto m = metrics::ComputeMetrics(result, 20.0);
+  // Every packet resolved; loss enormous but bounded and accounted.
+  EXPECT_EQ(result.log.Packets().size(), 200u);
+  EXPECT_GT(m.plr_total, 0.5);
+  EXPECT_LE(m.plr_total, 1.0);
+  // CCA deferral must have triggered massively.
+  EXPECT_GT(result.cca_busy, 500u);
+}
+
+TEST(FailureInjection, DeadLinkDrainsQueueCompletely) {
+  node::SimulationOptions options;
+  options.config.distance_m = 35.0;
+  options.config.pa_level = 3;  // below sensitivity
+  options.config.max_tries = 8;
+  options.config.queue_capacity = 30;
+  options.config.pkt_interval_ms = 10.0;
+  options.config.payload_bytes = 114;
+  options.packet_count = 300;
+  options.seed = 78;
+  options.disable_temporal_shadowing = true;
+
+  const auto result = node::RunLinkSimulation(options);
+  EXPECT_EQ(result.unique_delivered, 0u);
+  for (const auto& p : result.log.Packets()) {
+    if (!p.dropped_at_queue) {
+      EXPECT_NE(p.completed_at, link::kNever);  // nothing left in flight
+    }
+  }
+}
+
+TEST(FailureInjection, BurstArrivalsIntoTinyQueue) {
+  // 1 ms arrivals into Qmax=1 on a slow link: almost everything drops at
+  // the queue, yet metrics stay consistent.
+  node::SimulationOptions options;
+  options.config.distance_m = 20.0;
+  options.config.max_tries = 3;
+  options.config.queue_capacity = 1;
+  options.config.pkt_interval_ms = 1.0;
+  options.config.payload_bytes = 114;
+  options.packet_count = 500;
+  options.seed = 79;
+
+  const auto m = metrics::MeasureConfig(options);
+  EXPECT_GT(m.plr_queue, 0.8);
+  EXPECT_NEAR(1.0 - (1.0 - m.plr_queue) * (1.0 - m.plr_radio), m.plr_total,
+              1e-9);
+}
+
+TEST(FailureInjection, ExtremePayloadsAcrossAllPowers) {
+  // Smallest and largest payload at every PA level: no crashes, sane logs.
+  for (const int payload : {1, phy::kMaxPayloadBytes}) {
+    for (const auto& entry : phy::PaLevels()) {
+      node::SimulationOptions options;
+      options.config.distance_m = 30.0;
+      options.config.pa_level = entry.level;
+      options.config.payload_bytes = payload;
+      options.config.pkt_interval_ms = 50.0;
+      options.packet_count = 40;
+      options.seed = 80 + payload + entry.level;
+      const auto result = node::RunLinkSimulation(options);
+      EXPECT_EQ(result.log.Packets().size(), 40u)
+          << "payload=" << payload << " level=" << entry.level;
+    }
+  }
+}
+
+TEST(FailureInjection, LplUnderJammingTerminates) {
+  node::SimulationOptions options;
+  options.mac = node::MacKind::kLpl;
+  options.lpl_wakeup_interval_ms = 100.0;
+  options.config.distance_m = 10.0;
+  options.config.max_tries = 2;
+  options.config.queue_capacity = 3;
+  options.config.pkt_interval_ms = 300.0;
+  options.config.payload_bytes = 60;
+  options.packet_count = 50;
+  options.seed = 81;
+  options.interferer_duty_cycle = 0.8;
+  options.interferer_power_dbm = -40.0;
+
+  const auto result = node::RunLinkSimulation(options);
+  EXPECT_EQ(result.log.Packets().size(), 50u);
+  const auto m = metrics::ComputeMetrics(result, 300.0);
+  EXPECT_GT(m.plr_total, 0.3);
+}
+
+}  // namespace
+}  // namespace wsnlink

@@ -1,0 +1,98 @@
+// Tests for the per-parameter sensitivity analysis.
+#include <gtest/gtest.h>
+
+
+#include <cmath>
+#include "core/opt/sensitivity.h"
+
+namespace wsnlink::core::opt {
+namespace {
+
+StackConfig BaseAt(double distance, int pa_level) {
+  StackConfig config;
+  config.distance_m = distance;
+  config.pa_level = pa_level;
+  config.max_tries = 3;
+  config.queue_capacity = 10;
+  config.pkt_interval_ms = 50.0;
+  config.payload_bytes = 80;
+  return config;
+}
+
+TEST(Sensitivity, CoversAllSixTunableParameters) {
+  const models::ModelSet models;
+  const auto report = AnalyzeSensitivity(models, BaseAt(20.0, 19));
+  ASSERT_EQ(report.parameters.size(), 6u);
+  std::vector<std::string> names;
+  for (const auto& p : report.parameters) names.push_back(p.parameter);
+  EXPECT_EQ(names, (std::vector<std::string>{"P_tx", "l_D", "N_maxTries",
+                                             "D_retry", "Q_max", "T_pkt"}));
+}
+
+TEST(Sensitivity, RangesAreOrderedAndFinite) {
+  const models::ModelSet models;
+  const auto report = AnalyzeSensitivity(models, BaseAt(25.0, 15));
+  for (const auto& p : report.parameters) {
+    EXPECT_LE(p.energy_uj_per_bit.min, p.energy_uj_per_bit.max) << p.parameter;
+    EXPECT_LE(p.max_goodput_kbps.min, p.max_goodput_kbps.max) << p.parameter;
+    EXPECT_LE(p.total_delay_ms.min, p.total_delay_ms.max) << p.parameter;
+    EXPECT_GE(p.plr_total.min, 0.0);
+    EXPECT_LE(p.plr_total.max, 1.0);
+    EXPECT_TRUE(std::isfinite(p.total_delay_ms.max)) << p.parameter;
+  }
+}
+
+TEST(Sensitivity, PowerDominatesOnAGreyLink) {
+  // In the grey zone, output power is the big lever for loss and goodput.
+  const models::ModelSet models;
+  const auto report = AnalyzeSensitivity(models, BaseAt(35.0, 11));
+  EXPECT_EQ(report.MostInfluentialFor(Metric::kLoss).parameter, "P_tx");
+  EXPECT_EQ(report.MostInfluentialFor(Metric::kGoodput).parameter, "P_tx");
+}
+
+TEST(Sensitivity, LossLeverageCollapsesOnAStrongLink) {
+  // Low-impact zone: no knob can move loss much (Fig. 6(d)'s flat region).
+  const models::ModelSet models;
+  const auto strong = AnalyzeSensitivity(models, BaseAt(10.0, 31));
+  const auto grey = AnalyzeSensitivity(models, BaseAt(35.0, 11));
+  const double strong_loss_span =
+      strong.MostInfluentialFor(Metric::kLoss).plr_total.Span();
+  const double grey_loss_span =
+      grey.MostInfluentialFor(Metric::kLoss).plr_total.Span();
+  EXPECT_LT(strong_loss_span, 0.5 * grey_loss_span);
+}
+
+TEST(Sensitivity, PayloadAlwaysMovesEnergy) {
+  // Overhead amortisation makes l_D an energy lever on every link.
+  const models::ModelSet models;
+  for (const int level : {11, 19, 31}) {
+    const auto report = AnalyzeSensitivity(models, BaseAt(20.0, level));
+    for (const auto& p : report.parameters) {
+      if (p.parameter == "l_D") {
+        EXPECT_GT(p.energy_uj_per_bit.Span(), 0.1) << "level=" << level;
+      }
+    }
+  }
+}
+
+TEST(Sensitivity, FixedSnrOverride) {
+  const models::ModelSet models;
+  const auto at_link = AnalyzeSensitivity(models, BaseAt(20.0, 19));
+  const auto at_6db = AnalyzeSensitivity(
+      models, BaseAt(20.0, 19), ConfigSpace::PaperTableI(), 6.0);
+  EXPECT_DOUBLE_EQ(at_6db.snr_db, 6.0);
+  // The grey-zone override shows much larger loss leverage.
+  EXPECT_GT(at_6db.MostInfluentialFor(Metric::kLoss).plr_total.Span(),
+            at_link.MostInfluentialFor(Metric::kLoss).plr_total.Span());
+}
+
+TEST(Sensitivity, ReportRenders) {
+  const models::ModelSet models;
+  const auto text = AnalyzeSensitivity(models, BaseAt(20.0, 19)).ToString();
+  for (const char* token : {"P_tx", "l_D", "T_pkt", "goodput span"}) {
+    EXPECT_NE(text.find(token), std::string::npos) << token;
+  }
+}
+
+}  // namespace
+}  // namespace wsnlink::core::opt

@@ -1,0 +1,134 @@
+// Unit tests for the discrete-event kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace wsnlink::sim {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(FromMilliseconds(1.5), 1500);
+  EXPECT_EQ(FromSeconds(2.0), 2'000'000);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(2500), 2.5);
+  EXPECT_DOUBLE_EQ(ToSeconds(500'000), 0.5);
+  EXPECT_EQ(FromMilliseconds(0.2235), 224);  // rounds to nearest us
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(Simulator, FifoStableForEqualTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(10, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedSchedulingFromCallback) {
+  Simulator sim;
+  std::vector<Time> fire_times;
+  sim.Schedule(5, [&] {
+    fire_times.push_back(sim.Now());
+    sim.Schedule(7, [&] { fire_times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(fire_times, (std::vector<Time>{5, 12}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  auto handle = sim.Schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(handle.Pending());
+  handle.Cancel();
+  EXPECT_FALSE(handle.Pending());
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.EventsExecuted(), 0u);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int count = 0;
+  auto handle = sim.Schedule(1, [&] { ++count; });
+  sim.Run();
+  EXPECT_FALSE(handle.Pending());
+  handle.Cancel();  // must not crash or rewind anything
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.Schedule(10, [&] { fired.push_back(10); });
+  sim.Schedule(20, [&] { fired.push_back(20); });
+  sim.Schedule(30, [&] { fired.push_back(30); });
+  const auto count = sim.RunUntil(20);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(sim.Now(), 20);
+  sim.Run();
+  EXPECT_EQ(fired.back(), 30);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenQueueEmpty) {
+  Simulator sim;
+  sim.RunUntil(1000);
+  EXPECT_EQ(sim.Now(), 1000);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(1, [&] { ++count; });
+  sim.Schedule(2, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RejectsInvalidScheduling) {
+  Simulator sim;
+  EXPECT_THROW(sim.Schedule(-1, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.ScheduleAt(0, nullptr), std::invalid_argument);
+  sim.Schedule(5, [] {});
+  sim.Run();
+  EXPECT_THROW(sim.ScheduleAt(1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, ManyEventsCountTracked) {
+  Simulator sim;
+  for (int i = 0; i < 1000; ++i) sim.Schedule(i, [] {});
+  EXPECT_EQ(sim.QueueSize(), 1000u);
+  sim.Run();
+  EXPECT_EQ(sim.EventsExecuted(), 1000u);
+}
+
+TEST(Simulator, CancelledHeadDoesNotBlockRunUntil) {
+  Simulator sim;
+  bool later_fired = false;
+  auto handle = sim.Schedule(5, [] {});
+  handle.Cancel();
+  sim.Schedule(10, [&] { later_fired = true; });
+  sim.RunUntil(10);
+  EXPECT_TRUE(later_fired);
+}
+
+}  // namespace
+}  // namespace wsnlink::sim

@@ -1,0 +1,101 @@
+// Tests for time-windowed metrics.
+#include <gtest/gtest.h>
+
+#include "metrics/link_metrics.h"
+#include "metrics/timeline.h"
+#include "node/link_simulation.h"
+
+namespace wsnlink::metrics {
+namespace {
+
+node::SimulationOptions BaseOptions() {
+  node::SimulationOptions options;
+  options.config.distance_m = 15.0;
+  options.config.pa_level = 31;
+  options.config.max_tries = 3;
+  options.config.queue_capacity = 10;
+  options.config.pkt_interval_ms = 20.0;
+  options.config.payload_bytes = 80;
+  options.packet_count = 500;  // 10 s of traffic
+  options.seed = 60;
+  return options;
+}
+
+TEST(Timeline, WindowsTileTheRun) {
+  const auto result = node::RunLinkSimulation(BaseOptions());
+  const auto timeline = ComputeTimeline(result.log, sim::kSecond);
+  ASSERT_GE(timeline.size(), 10u);
+  int total_arrivals = 0;
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    EXPECT_EQ(timeline[i].window_start,
+              static_cast<sim::Time>(i) * sim::kSecond);
+    EXPECT_EQ(timeline[i].window_end - timeline[i].window_start,
+              sim::kSecond);
+    total_arrivals += timeline[i].arrivals;
+  }
+  EXPECT_EQ(total_arrivals, result.generated);
+}
+
+TEST(Timeline, SteadyLinkGivesFlatSeries) {
+  const auto result = node::RunLinkSimulation(BaseOptions());
+  const auto timeline = ComputeTimeline(result.log, sim::kSecond);
+  // Interior windows (skip the possibly partial last one): stable goodput
+  // of 50 pkt/s * 640 bits = 32 kbps.
+  for (std::size_t i = 0; i + 1 < timeline.size(); ++i) {
+    EXPECT_NEAR(timeline[i].goodput_kbps, 32.0, 3.0) << "window " << i;
+    EXPECT_LT(timeline[i].plr_total, 0.1);
+  }
+}
+
+TEST(Timeline, MobilityShowsDegradationOverTime) {
+  auto options = BaseOptions();
+  options.config.pa_level = 7;
+  options.config.max_tries = 1;
+  options.config.pkt_interval_ms = 50.0;
+  options.packet_count = 1200;  // 60 s: walks 10 m -> 35 m within one leg
+  options.mobility_speed_mps = 0.5;
+  options.config.distance_m = 10.0;
+  const auto result = node::RunLinkSimulation(options);
+  const auto timeline = ComputeTimeline(result.log, 10 * sim::kSecond);
+  ASSERT_GE(timeline.size(), 5u);
+  // First window: near position (10-15 m). Later window: near 35 m.
+  EXPECT_LT(timeline.front().plr_total + 0.1, timeline[4].plr_total);
+}
+
+TEST(Timeline, QueueDropsAttributedToWindows) {
+  auto options = BaseOptions();
+  options.config.pkt_interval_ms = 2.0;  // saturating
+  options.config.queue_capacity = 1;
+  options.packet_count = 1000;
+  const auto result = node::RunLinkSimulation(options);
+  const auto timeline = ComputeTimeline(result.log, sim::kSecond);
+  ASSERT_FALSE(timeline.empty());
+  EXPECT_GT(timeline.front().plr_queue, 0.5);
+}
+
+TEST(Timeline, EmptyLogAndBadWindow) {
+  link::PacketLog empty;
+  EXPECT_TRUE(ComputeTimeline(empty, sim::kSecond).empty());
+  EXPECT_THROW((void)ComputeTimeline(empty, 0), std::invalid_argument);
+}
+
+TEST(Timeline, EnergyPerBitMatchesWholeRunRoughly) {
+  const auto options = BaseOptions();
+  const auto result = node::RunLinkSimulation(options);
+  const auto whole = ComputeMetrics(result, options.config.pkt_interval_ms);
+  const auto timeline = ComputeTimeline(result.log, sim::kSecond);
+  double weighted = 0.0;
+  double bits = 0.0;
+  for (const auto& w : timeline) {
+    const double window_bits =
+        w.goodput_kbps * 1000.0 * sim::ToSeconds(sim::kSecond);
+    weighted += w.energy_uj_per_bit * window_bits;
+    bits += window_bits;
+  }
+  ASSERT_GT(bits, 0.0);
+  EXPECT_NEAR(weighted / bits, whole.energy_uj_per_bit,
+              0.05 * whole.energy_uj_per_bit);
+}
+
+}  // namespace
+}  // namespace wsnlink::metrics

@@ -1,0 +1,112 @@
+// Tests for model validation and campaign analysis.
+#include <gtest/gtest.h>
+
+#include "core/models/validation.h"
+#include "experiment/analysis.h"
+#include "experiment/sweep.h"
+
+namespace wsnlink {
+namespace {
+
+/// Sweep a small slice of the space for validation fodder.
+std::vector<experiment::SweepPoint> SmallSweep() {
+  std::vector<core::StackConfig> configs;
+  for (const int level : {7, 11, 15, 19, 23, 31}) {
+    for (const int payload : {20, 80, 110}) {
+      core::StackConfig config;
+      config.distance_m = 35.0;
+      config.pa_level = level;
+      config.max_tries = 3;
+      config.queue_capacity = 10;
+      config.pkt_interval_ms = 80.0;
+      config.payload_bytes = payload;
+      configs.push_back(config);
+    }
+  }
+  experiment::SweepOptions options;
+  options.packet_count = 300;
+  options.base_seed = 99;
+  return experiment::RunSweep(configs, options);
+}
+
+TEST(Validation, SamplesCarrySweepData) {
+  const auto points = SmallSweep();
+  const auto samples = experiment::ToValidationSamples(points);
+  ASSERT_EQ(samples.size(), points.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].config.pa_level, points[i].config.pa_level);
+    EXPECT_DOUBLE_EQ(samples[i].measured_per, points[i].measured.per);
+    EXPECT_EQ(samples[i].has_energy,
+              points[i].measured.delivered_unique > 0);
+  }
+}
+
+TEST(Validation, ModelsTrackMeasurementsOnValidRegion) {
+  const auto points = SmallSweep();
+  const auto samples = experiment::ToValidationSamples(points);
+  const auto report =
+      core::models::ValidateModels(core::models::ModelSet(), samples);
+
+  // Sanity: the validity filter kept a useful share of the sweep.
+  EXPECT_GT(report.per.samples, 8u);
+  // The calibrated channel was built to match Eq. 3: PER RMSE within a few
+  // points, service time within ~15% relative.
+  EXPECT_LT(report.per.rmse, 0.10);
+  EXPECT_LT(report.service_time.mean_relative_error, 0.20);
+  EXPECT_LT(report.utilization.mean_relative_error, 0.20);
+  // Energy relative error modest on the delivering configs.
+  EXPECT_LT(report.energy.mean_relative_error, 0.30);
+}
+
+TEST(Validation, SnrWindowFiltersSamples) {
+  const auto points = SmallSweep();
+  const auto samples = experiment::ToValidationSamples(points);
+  const auto narrow = core::models::ValidateModels(
+      core::models::ModelSet(), samples, 15.0, 20.0);
+  const auto wide = core::models::ValidateModels(
+      core::models::ModelSet(), samples, 0.0, 40.0);
+  EXPECT_LT(narrow.per.samples, wide.per.samples);
+}
+
+TEST(Validation, ReportRendersEveryModelRow) {
+  const auto points = SmallSweep();
+  const auto report = core::models::ValidateModels(
+      core::models::ModelSet(), experiment::ToValidationSamples(points));
+  const auto text = report.ToString();
+  for (const char* token :
+       {"PER", "T_service", "U_eng", "PLR_radio", "utilization"}) {
+    EXPECT_NE(text.find(token), std::string::npos) << token;
+  }
+}
+
+TEST(Analysis, ZoneSummaryPartitionsAllConfigs) {
+  const auto points = SmallSweep();
+  const auto zones = experiment::SummariseByZone(points);
+  ASSERT_EQ(zones.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& z : zones) total += z.configs;
+  EXPECT_EQ(total, points.size());
+}
+
+TEST(Analysis, ZonesShowThePaperGradient) {
+  const auto points = SmallSweep();
+  const auto zones = experiment::SummariseByZone(points);
+  // zones: [dead, high, medium, low]
+  const auto& high = zones[1];
+  const auto& low = zones[3];
+  ASSERT_GT(high.configs, 0u);
+  ASSERT_GT(low.configs, 0u);
+  EXPECT_GT(high.mean_per, low.mean_per);
+  EXPECT_GT(high.mean_plr_total, low.mean_plr_total);
+  EXPECT_LT(high.mean_goodput_kbps, low.mean_goodput_kbps + 1e-9);
+}
+
+TEST(Analysis, ZoneTableRenders) {
+  const auto zones = experiment::SummariseByZone(SmallSweep());
+  const auto text = experiment::ZoneTable(zones);
+  EXPECT_NE(text.find("dead"), std::string::npos);
+  EXPECT_NE(text.find("medium"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsnlink

@@ -1,0 +1,117 @@
+// Tests for the weighted-sum MOP scalarisation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/opt/epsilon_constraint.h"
+#include "core/opt/pareto.h"
+#include "core/opt/weighted_sum.h"
+#include "phy/frame.h"
+
+namespace wsnlink::core::opt {
+namespace {
+
+ConfigSpace SmallSpace() {
+  ConfigSpace space;
+  space.distances_m = {20.0};
+  space.pa_levels = {3, 7, 11, 15, 19, 23, 27, 31};
+  space.max_tries = {1, 3, 8};
+  space.retry_delays_ms = {0.0};
+  space.queue_capacities = {30};
+  space.pkt_intervals_ms = {1.0};
+  space.payload_bytes = {5, 20, 50, 80, 110, 114};
+  return space;
+}
+
+TEST(WeightedSum, PureGoodputWeightMatchesEpsilonUnconstrained) {
+  const models::ModelSet models;
+  const auto space = SmallSpace();
+
+  const auto weighted = SolveWeightedSum(
+      models, space, {{Metric::kGoodput, 1.0}});
+  ASSERT_TRUE(weighted.has_value());
+
+  Problem problem;
+  problem.objective = Metric::kGoodput;
+  const auto eps = SolveEpsilonConstraint(models, space, problem);
+  ASSERT_TRUE(eps.has_value());
+
+  EXPECT_NEAR(weighted->prediction.max_goodput_kbps,
+              eps->prediction.max_goodput_kbps, 1e-9);
+}
+
+TEST(WeightedSum, PureEnergyWeightFindsMinimumFiniteEnergy) {
+  const models::ModelSet models;
+  const auto space = SmallSpace();
+  const auto solution = SolveWeightedSum(
+      models, space, {{Metric::kEnergy, 1.0}});
+  ASSERT_TRUE(solution.has_value());
+
+  // Brute force over finite-energy points.
+  double best = 1e18;
+  const auto points = EvaluateSpace(models, space);
+  for (const auto& p : points) {
+    if (std::isfinite(p.prediction.energy_uj_per_bit)) {
+      best = std::min(best, p.prediction.energy_uj_per_bit);
+    }
+  }
+  EXPECT_NEAR(solution->prediction.energy_uj_per_bit, best, 1e-9);
+}
+
+TEST(WeightedSum, SolutionIsParetoOptimal) {
+  // Any strictly-positive-weight optimum must be non-dominated.
+  const models::ModelSet models;
+  const auto space = SmallSpace();
+  const std::vector<Metric> axes{Metric::kEnergy, Metric::kGoodput};
+
+  const auto solution = SolveWeightedSum(
+      models, space, {{Metric::kEnergy, 0.5}, {Metric::kGoodput, 0.5}});
+  ASSERT_TRUE(solution.has_value());
+
+  const auto points = EvaluateSpace(models, space);
+  for (const auto& p : points) {
+    EXPECT_FALSE(Dominates(p.prediction, solution->prediction, axes))
+        << p.config.ToString();
+  }
+}
+
+TEST(WeightedSum, WeightShiftMovesAlongTradeoff) {
+  const models::ModelSet models;
+  const auto space = SmallSpace();
+  const auto goodput_heavy = SolveWeightedSum(
+      models, space, {{Metric::kEnergy, 0.05}, {Metric::kGoodput, 0.95}});
+  const auto energy_heavy = SolveWeightedSum(
+      models, space, {{Metric::kEnergy, 0.95}, {Metric::kGoodput, 0.05}});
+  ASSERT_TRUE(goodput_heavy.has_value());
+  ASSERT_TRUE(energy_heavy.has_value());
+  EXPECT_GE(goodput_heavy->prediction.max_goodput_kbps,
+            energy_heavy->prediction.max_goodput_kbps);
+  EXPECT_GE(energy_heavy->prediction.max_goodput_kbps, 0.0);
+  EXPECT_LE(energy_heavy->prediction.energy_uj_per_bit,
+            goodput_heavy->prediction.energy_uj_per_bit);
+}
+
+TEST(WeightedSum, InvalidWeightsRejected) {
+  const models::ModelSet models;
+  EXPECT_THROW(
+      (void)SolveWeightedSum(models, SmallSpace(), {}),
+      std::invalid_argument);
+  EXPECT_THROW((void)SolveWeightedSum(models, SmallSpace(),
+                                      {{Metric::kEnergy, -1.0}}),
+               std::invalid_argument);
+}
+
+TEST(WeightedSum, FixedSnrHonoured) {
+  const models::ModelSet models;
+  const auto grey = SolveWeightedSum(models, SmallSpace(),
+                                     {{Metric::kGoodput, 1.0}}, 6.0);
+  const auto clear = SolveWeightedSum(models, SmallSpace(),
+                                      {{Metric::kGoodput, 1.0}}, 25.0);
+  ASSERT_TRUE(grey.has_value());
+  ASSERT_TRUE(clear.has_value());
+  EXPECT_LT(grey->prediction.max_goodput_kbps,
+            clear->prediction.max_goodput_kbps);
+}
+
+}  // namespace
+}  // namespace wsnlink::core::opt

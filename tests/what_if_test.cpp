@@ -1,0 +1,104 @@
+// Tests for the counterfactual trace analysis.
+#include <gtest/gtest.h>
+
+#include "channel/ber.h"
+#include "metrics/link_metrics.h"
+#include "metrics/what_if.h"
+#include "node/link_simulation.h"
+#include "phy/frame.h"
+
+namespace wsnlink::metrics {
+namespace {
+
+node::SimulationOptions TraceRun(int payload, std::uint64_t seed) {
+  node::SimulationOptions options;
+  options.config.distance_m = 35.0;
+  options.config.pa_level = 11;  // medium grey zone
+  options.config.max_tries = 1;
+  options.config.queue_capacity = 1;
+  options.config.pkt_interval_ms = 40.0;
+  options.config.payload_bytes = payload;
+  options.packet_count = 1500;
+  options.seed = seed;
+  return options;
+}
+
+TEST(WhatIf, SelfConsistentAtOwnPayload) {
+  // The counterfactual PER for the run's own payload must match what the
+  // run actually measured.
+  const auto options = TraceRun(80, 11);
+  const auto result = node::RunLinkSimulation(options);
+  const auto measured = ComputeMetrics(result, 40.0);
+
+  const channel::CalibratedExponentialBer ber;
+  const double predicted =
+      CounterfactualPer(result.log.Attempts(), ber, 80);
+  EXPECT_NEAR(predicted, measured.per, 0.05);
+}
+
+TEST(WhatIf, PredictsOtherPayloadsRuns) {
+  // A counterfactual for payload B computed on payload A's trace must land
+  // near what an actual run with payload B measures on the same link.
+  const auto trace_run = node::RunLinkSimulation(TraceRun(40, 12));
+  const channel::CalibratedExponentialBer ber;
+  const double predicted_110 =
+      CounterfactualPer(trace_run.log.Attempts(), ber, 110);
+
+  const auto actual_110 = node::RunLinkSimulation(TraceRun(110, 13));
+  const auto measured_110 = ComputeMetrics(actual_110, 40.0);
+  EXPECT_NEAR(predicted_110, measured_110.per, 0.07);
+}
+
+TEST(WhatIf, PerMonotoneInPayload) {
+  const auto result = node::RunLinkSimulation(TraceRun(60, 14));
+  const channel::CalibratedExponentialBer ber;
+  double prev = -1.0;
+  for (const int payload : {5, 20, 50, 80, 110}) {
+    const double per = CounterfactualPer(result.log.Attempts(), ber, payload);
+    EXPECT_GT(per, prev);
+    prev = per;
+  }
+}
+
+TEST(WhatIf, GoodputCurveHasInteriorStructure) {
+  const auto result = node::RunLinkSimulation(TraceRun(60, 15));
+  const channel::CalibratedExponentialBer ber;
+  const std::vector<int> payloads{5, 20, 40, 60, 80, 100, 114};
+  const auto what_if =
+      PayloadWhatIf(result.log.Attempts(), ber, payloads, 1);
+  ASSERT_EQ(what_if.size(), payloads.size());
+  // Tiny payloads are overhead-dominated: goodput must rise from 5 B.
+  EXPECT_GT(what_if[2].max_goodput_kbps, what_if[0].max_goodput_kbps);
+  for (const auto& r : what_if) {
+    EXPECT_GE(r.per, 0.0);
+    EXPECT_LE(r.per, 1.0);
+    EXPECT_GE(r.max_goodput_kbps, 0.0);
+  }
+}
+
+TEST(WhatIf, RetransmissionsShiftBestPayloadUp) {
+  const auto result = node::RunLinkSimulation(TraceRun(60, 16));
+  const channel::CalibratedExponentialBer ber;
+  const int best_n1 = BestPayloadOnTrace(result.log.Attempts(), ber, 1);
+  const int best_n8 = BestPayloadOnTrace(result.log.Attempts(), ber, 8);
+  EXPECT_GE(best_n8, best_n1);
+  EXPECT_GE(best_n1, 1);
+  EXPECT_LE(best_n8, phy::kMaxPayloadBytes);
+}
+
+TEST(WhatIf, InvalidInputsRejected) {
+  const channel::CalibratedExponentialBer ber;
+  std::vector<link::AttemptRecord> empty;
+  EXPECT_THROW((void)CounterfactualPer(empty, ber, 50),
+               std::invalid_argument);
+  std::vector<link::AttemptRecord> one(1);
+  EXPECT_THROW((void)CounterfactualPer(one, ber, 0), std::invalid_argument);
+  const std::vector<int> payloads{50};
+  EXPECT_THROW((void)PayloadWhatIf(one, ber, payloads, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)PayloadWhatIf(one, ber, payloads, 1, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsnlink::metrics
