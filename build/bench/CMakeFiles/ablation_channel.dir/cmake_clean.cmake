@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_channel.dir/ablation_channel.cpp.o"
+  "CMakeFiles/ablation_channel.dir/ablation_channel.cpp.o.d"
+  "ablation_channel"
+  "ablation_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_interference.dir/ext_interference.cpp.o"
+  "CMakeFiles/ext_interference.dir/ext_interference.cpp.o.d"
+  "ext_interference"
+  "ext_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_lpl_dutycycle.dir/ext_lpl_dutycycle.cpp.o"
+  "CMakeFiles/ext_lpl_dutycycle.dir/ext_lpl_dutycycle.cpp.o.d"
+  "ext_lpl_dutycycle"
+  "ext_lpl_dutycycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lpl_dutycycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mobility.dir/ext_mobility.cpp.o"
+  "CMakeFiles/ext_mobility.dir/ext_mobility.cpp.o.d"
+  "ext_mobility"
+  "ext_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

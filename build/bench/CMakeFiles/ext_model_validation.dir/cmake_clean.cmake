@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_model_validation.dir/ext_model_validation.cpp.o"
+  "CMakeFiles/ext_model_validation.dir/ext_model_validation.cpp.o.d"
+  "ext_model_validation"
+  "ext_model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

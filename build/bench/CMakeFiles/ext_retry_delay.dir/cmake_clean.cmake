@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_retry_delay.dir/ext_retry_delay.cpp.o"
+  "CMakeFiles/ext_retry_delay.dir/ext_retry_delay.cpp.o.d"
+  "ext_retry_delay"
+  "ext_retry_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_retry_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_tradeoff.dir/fig01_tradeoff.cpp.o"
+  "CMakeFiles/fig01_tradeoff.dir/fig01_tradeoff.cpp.o.d"
+  "fig01_tradeoff"
+  "fig01_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

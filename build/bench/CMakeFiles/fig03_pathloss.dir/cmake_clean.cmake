@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_pathloss.dir/fig03_pathloss.cpp.o"
+  "CMakeFiles/fig03_pathloss.dir/fig03_pathloss.cpp.o.d"
+  "fig03_pathloss"
+  "fig03_pathloss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_pathloss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

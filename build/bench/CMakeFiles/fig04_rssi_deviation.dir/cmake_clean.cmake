@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_rssi_deviation.dir/fig04_rssi_deviation.cpp.o"
+  "CMakeFiles/fig04_rssi_deviation.dir/fig04_rssi_deviation.cpp.o.d"
+  "fig04_rssi_deviation"
+  "fig04_rssi_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_rssi_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_snr_distribution.dir/fig05_snr_distribution.cpp.o"
+  "CMakeFiles/fig05_snr_distribution.dir/fig05_snr_distribution.cpp.o.d"
+  "fig05_snr_distribution"
+  "fig05_snr_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_snr_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_per_joint.dir/fig06_per_joint.cpp.o"
+  "CMakeFiles/fig06_per_joint.dir/fig06_per_joint.cpp.o.d"
+  "fig06_per_joint"
+  "fig06_per_joint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_per_joint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_per_joint.
+# This may be replaced when dependencies are built.

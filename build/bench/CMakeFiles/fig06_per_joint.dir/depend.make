@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_per_joint.
+# This may be replaced when dependencies are built.

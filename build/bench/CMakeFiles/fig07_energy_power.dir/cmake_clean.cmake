@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_energy_power.dir/fig07_energy_power.cpp.o"
+  "CMakeFiles/fig07_energy_power.dir/fig07_energy_power.cpp.o.d"
+  "fig07_energy_power"
+  "fig07_energy_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_energy_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

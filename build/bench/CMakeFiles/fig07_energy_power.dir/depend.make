@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_energy_power.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_energy_payload.dir/fig08_energy_payload.cpp.o"
+  "CMakeFiles/fig08_energy_payload.dir/fig08_energy_payload.cpp.o.d"
+  "fig08_energy_payload"
+  "fig08_energy_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_energy_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_goodput.dir/fig10_goodput.cpp.o"
+  "CMakeFiles/fig10_goodput.dir/fig10_goodput.cpp.o.d"
+  "fig10_goodput"
+  "fig10_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

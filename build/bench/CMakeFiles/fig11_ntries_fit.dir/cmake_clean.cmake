@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ntries_fit.dir/fig11_ntries_fit.cpp.o"
+  "CMakeFiles/fig11_ntries_fit.dir/fig11_ntries_fit.cpp.o.d"
+  "fig11_ntries_fit"
+  "fig11_ntries_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ntries_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_plrradio_fit.dir/fig12_plrradio_fit.cpp.o"
+  "CMakeFiles/fig12_plrradio_fit.dir/fig12_plrradio_fit.cpp.o.d"
+  "fig12_plrradio_fit"
+  "fig12_plrradio_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_plrradio_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_maxgoodput_model.dir/fig13_maxgoodput_model.cpp.o"
+  "CMakeFiles/fig13_maxgoodput_model.dir/fig13_maxgoodput_model.cpp.o.d"
+  "fig13_maxgoodput_model"
+  "fig13_maxgoodput_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_maxgoodput_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_delay.dir/fig15_delay.cpp.o"
+  "CMakeFiles/fig15_delay.dir/fig15_delay.cpp.o.d"
+  "fig15_delay"
+  "fig15_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

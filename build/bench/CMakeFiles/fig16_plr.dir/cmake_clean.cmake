@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_plr.dir/fig16_plr.cpp.o"
+  "CMakeFiles/fig16_plr.dir/fig16_plr.cpp.o.d"
+  "fig16_plr"
+  "fig16_plr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_plr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_loss_split.dir/fig17_loss_split.cpp.o"
+  "CMakeFiles/fig17_loss_split.dir/fig17_loss_split.cpp.o.d"
+  "fig17_loss_split"
+  "fig17_loss_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_loss_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_parameters.dir/table01_parameters.cpp.o"
+  "CMakeFiles/table01_parameters.dir/table01_parameters.cpp.o.d"
+  "table01_parameters"
+  "table01_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_utilization.dir/table02_utilization.cpp.o"
+  "CMakeFiles/table02_utilization.dir/table02_utilization.cpp.o.d"
+  "table02_utilization"
+  "table02_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

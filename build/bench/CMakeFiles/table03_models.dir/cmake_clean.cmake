@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_models.dir/table03_models.cpp.o"
+  "CMakeFiles/table03_models.dir/table03_models.cpp.o.d"
+  "table03_models"
+  "table03_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

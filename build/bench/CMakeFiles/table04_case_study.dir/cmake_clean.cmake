@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_case_study.dir/table04_case_study.cpp.o"
+  "CMakeFiles/table04_case_study.dir/table04_case_study.cpp.o.d"
+  "table04_case_study"
+  "table04_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

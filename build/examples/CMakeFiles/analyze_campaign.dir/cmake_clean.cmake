@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_campaign.dir/analyze_campaign.cpp.o"
+  "CMakeFiles/analyze_campaign.dir/analyze_campaign.cpp.o.d"
+  "analyze_campaign"
+  "analyze_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_campaign.dir/run_campaign.cpp.o"
+  "CMakeFiles/run_campaign.dir/run_campaign.cpp.o.d"
+  "run_campaign"
+  "run_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for run_campaign.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_home_monitoring.dir/smart_home_monitoring.cpp.o"
+  "CMakeFiles/smart_home_monitoring.dir/smart_home_monitoring.cpp.o.d"
+  "smart_home_monitoring"
+  "smart_home_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_home_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/what_if_payload.dir/what_if_payload.cpp.o"
+  "CMakeFiles/what_if_payload.dir/what_if_payload.cpp.o.d"
+  "what_if_payload"
+  "what_if_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/what_if_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_app.dir/sink.cpp.o"
+  "CMakeFiles/wsn_app.dir/sink.cpp.o.d"
+  "CMakeFiles/wsn_app.dir/traffic_gen.cpp.o"
+  "CMakeFiles/wsn_app.dir/traffic_gen.cpp.o.d"
+  "libwsn_app.a"
+  "libwsn_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

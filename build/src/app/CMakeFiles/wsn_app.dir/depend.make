@@ -1,0 +1,2 @@
+# Empty dependencies file for wsn_app.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/ber.cpp" "src/channel/CMakeFiles/wsn_channel.dir/ber.cpp.o" "gcc" "src/channel/CMakeFiles/wsn_channel.dir/ber.cpp.o.d"
+  "/root/repo/src/channel/channel.cpp" "src/channel/CMakeFiles/wsn_channel.dir/channel.cpp.o" "gcc" "src/channel/CMakeFiles/wsn_channel.dir/channel.cpp.o.d"
+  "/root/repo/src/channel/interferer.cpp" "src/channel/CMakeFiles/wsn_channel.dir/interferer.cpp.o" "gcc" "src/channel/CMakeFiles/wsn_channel.dir/interferer.cpp.o.d"
+  "/root/repo/src/channel/mobility.cpp" "src/channel/CMakeFiles/wsn_channel.dir/mobility.cpp.o" "gcc" "src/channel/CMakeFiles/wsn_channel.dir/mobility.cpp.o.d"
+  "/root/repo/src/channel/noise.cpp" "src/channel/CMakeFiles/wsn_channel.dir/noise.cpp.o" "gcc" "src/channel/CMakeFiles/wsn_channel.dir/noise.cpp.o.d"
+  "/root/repo/src/channel/path_loss.cpp" "src/channel/CMakeFiles/wsn_channel.dir/path_loss.cpp.o" "gcc" "src/channel/CMakeFiles/wsn_channel.dir/path_loss.cpp.o.d"
+  "/root/repo/src/channel/shadowing.cpp" "src/channel/CMakeFiles/wsn_channel.dir/shadowing.cpp.o" "gcc" "src/channel/CMakeFiles/wsn_channel.dir/shadowing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

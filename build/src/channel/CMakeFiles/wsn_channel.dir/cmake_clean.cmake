@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_channel.dir/ber.cpp.o"
+  "CMakeFiles/wsn_channel.dir/ber.cpp.o.d"
+  "CMakeFiles/wsn_channel.dir/channel.cpp.o"
+  "CMakeFiles/wsn_channel.dir/channel.cpp.o.d"
+  "CMakeFiles/wsn_channel.dir/interferer.cpp.o"
+  "CMakeFiles/wsn_channel.dir/interferer.cpp.o.d"
+  "CMakeFiles/wsn_channel.dir/mobility.cpp.o"
+  "CMakeFiles/wsn_channel.dir/mobility.cpp.o.d"
+  "CMakeFiles/wsn_channel.dir/noise.cpp.o"
+  "CMakeFiles/wsn_channel.dir/noise.cpp.o.d"
+  "CMakeFiles/wsn_channel.dir/path_loss.cpp.o"
+  "CMakeFiles/wsn_channel.dir/path_loss.cpp.o.d"
+  "CMakeFiles/wsn_channel.dir/shadowing.cpp.o"
+  "CMakeFiles/wsn_channel.dir/shadowing.cpp.o.d"
+  "libwsn_channel.a"
+  "libwsn_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

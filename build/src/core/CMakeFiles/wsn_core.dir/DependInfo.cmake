@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fit/bootstrap.cpp" "src/core/CMakeFiles/wsn_core.dir/fit/bootstrap.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/fit/bootstrap.cpp.o.d"
+  "/root/repo/src/core/fit/exponential_fit.cpp" "src/core/CMakeFiles/wsn_core.dir/fit/exponential_fit.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/fit/exponential_fit.cpp.o.d"
+  "/root/repo/src/core/fit/gauss_newton.cpp" "src/core/CMakeFiles/wsn_core.dir/fit/gauss_newton.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/fit/gauss_newton.cpp.o.d"
+  "/root/repo/src/core/models/delay_model.cpp" "src/core/CMakeFiles/wsn_core.dir/models/delay_model.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/models/delay_model.cpp.o.d"
+  "/root/repo/src/core/models/energy_model.cpp" "src/core/CMakeFiles/wsn_core.dir/models/energy_model.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/models/energy_model.cpp.o.d"
+  "/root/repo/src/core/models/goodput_model.cpp" "src/core/CMakeFiles/wsn_core.dir/models/goodput_model.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/models/goodput_model.cpp.o.d"
+  "/root/repo/src/core/models/link_quality.cpp" "src/core/CMakeFiles/wsn_core.dir/models/link_quality.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/models/link_quality.cpp.o.d"
+  "/root/repo/src/core/models/model_set.cpp" "src/core/CMakeFiles/wsn_core.dir/models/model_set.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/models/model_set.cpp.o.d"
+  "/root/repo/src/core/models/ntries_model.cpp" "src/core/CMakeFiles/wsn_core.dir/models/ntries_model.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/models/ntries_model.cpp.o.d"
+  "/root/repo/src/core/models/per_model.cpp" "src/core/CMakeFiles/wsn_core.dir/models/per_model.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/models/per_model.cpp.o.d"
+  "/root/repo/src/core/models/plr_model.cpp" "src/core/CMakeFiles/wsn_core.dir/models/plr_model.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/models/plr_model.cpp.o.d"
+  "/root/repo/src/core/models/service_time_model.cpp" "src/core/CMakeFiles/wsn_core.dir/models/service_time_model.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/models/service_time_model.cpp.o.d"
+  "/root/repo/src/core/models/validation.cpp" "src/core/CMakeFiles/wsn_core.dir/models/validation.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/models/validation.cpp.o.d"
+  "/root/repo/src/core/opt/adaptive.cpp" "src/core/CMakeFiles/wsn_core.dir/opt/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/opt/adaptive.cpp.o.d"
+  "/root/repo/src/core/opt/baselines.cpp" "src/core/CMakeFiles/wsn_core.dir/opt/baselines.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/opt/baselines.cpp.o.d"
+  "/root/repo/src/core/opt/config_space.cpp" "src/core/CMakeFiles/wsn_core.dir/opt/config_space.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/opt/config_space.cpp.o.d"
+  "/root/repo/src/core/opt/epsilon_constraint.cpp" "src/core/CMakeFiles/wsn_core.dir/opt/epsilon_constraint.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/opt/epsilon_constraint.cpp.o.d"
+  "/root/repo/src/core/opt/guidelines.cpp" "src/core/CMakeFiles/wsn_core.dir/opt/guidelines.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/opt/guidelines.cpp.o.d"
+  "/root/repo/src/core/opt/objectives.cpp" "src/core/CMakeFiles/wsn_core.dir/opt/objectives.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/opt/objectives.cpp.o.d"
+  "/root/repo/src/core/opt/pareto.cpp" "src/core/CMakeFiles/wsn_core.dir/opt/pareto.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/opt/pareto.cpp.o.d"
+  "/root/repo/src/core/opt/sensitivity.cpp" "src/core/CMakeFiles/wsn_core.dir/opt/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/opt/sensitivity.cpp.o.d"
+  "/root/repo/src/core/opt/weighted_sum.cpp" "src/core/CMakeFiles/wsn_core.dir/opt/weighted_sum.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/opt/weighted_sum.cpp.o.d"
+  "/root/repo/src/core/stack_config.cpp" "src/core/CMakeFiles/wsn_core.dir/stack_config.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/stack_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wsn_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wsn_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

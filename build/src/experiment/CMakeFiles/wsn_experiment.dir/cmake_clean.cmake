@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_experiment.dir/analysis.cpp.o"
+  "CMakeFiles/wsn_experiment.dir/analysis.cpp.o.d"
+  "CMakeFiles/wsn_experiment.dir/campaign.cpp.o"
+  "CMakeFiles/wsn_experiment.dir/campaign.cpp.o.d"
+  "CMakeFiles/wsn_experiment.dir/dataset.cpp.o"
+  "CMakeFiles/wsn_experiment.dir/dataset.cpp.o.d"
+  "CMakeFiles/wsn_experiment.dir/replication.cpp.o"
+  "CMakeFiles/wsn_experiment.dir/replication.cpp.o.d"
+  "CMakeFiles/wsn_experiment.dir/sweep.cpp.o"
+  "CMakeFiles/wsn_experiment.dir/sweep.cpp.o.d"
+  "libwsn_experiment.a"
+  "libwsn_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

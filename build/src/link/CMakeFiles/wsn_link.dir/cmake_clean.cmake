@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_link.dir/link_layer.cpp.o"
+  "CMakeFiles/wsn_link.dir/link_layer.cpp.o.d"
+  "CMakeFiles/wsn_link.dir/packet_log.cpp.o"
+  "CMakeFiles/wsn_link.dir/packet_log.cpp.o.d"
+  "CMakeFiles/wsn_link.dir/transmit_queue.cpp.o"
+  "CMakeFiles/wsn_link.dir/transmit_queue.cpp.o.d"
+  "libwsn_link.a"
+  "libwsn_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/csma_mac.cpp" "src/mac/CMakeFiles/wsn_mac.dir/csma_mac.cpp.o" "gcc" "src/mac/CMakeFiles/wsn_mac.dir/csma_mac.cpp.o.d"
+  "/root/repo/src/mac/lpl_mac.cpp" "src/mac/CMakeFiles/wsn_mac.dir/lpl_mac.cpp.o" "gcc" "src/mac/CMakeFiles/wsn_mac.dir/lpl_mac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wsn_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wsn_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_mac.dir/csma_mac.cpp.o"
+  "CMakeFiles/wsn_mac.dir/csma_mac.cpp.o.d"
+  "CMakeFiles/wsn_mac.dir/lpl_mac.cpp.o"
+  "CMakeFiles/wsn_mac.dir/lpl_mac.cpp.o.d"
+  "libwsn_mac.a"
+  "libwsn_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

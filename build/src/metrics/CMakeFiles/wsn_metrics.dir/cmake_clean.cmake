@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_metrics.dir/aggregate.cpp.o"
+  "CMakeFiles/wsn_metrics.dir/aggregate.cpp.o.d"
+  "CMakeFiles/wsn_metrics.dir/link_metrics.cpp.o"
+  "CMakeFiles/wsn_metrics.dir/link_metrics.cpp.o.d"
+  "CMakeFiles/wsn_metrics.dir/timeline.cpp.o"
+  "CMakeFiles/wsn_metrics.dir/timeline.cpp.o.d"
+  "CMakeFiles/wsn_metrics.dir/what_if.cpp.o"
+  "CMakeFiles/wsn_metrics.dir/what_if.cpp.o.d"
+  "libwsn_metrics.a"
+  "libwsn_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_node.dir/link_simulation.cpp.o"
+  "CMakeFiles/wsn_node.dir/link_simulation.cpp.o.d"
+  "libwsn_node.a"
+  "libwsn_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/cc2420.cpp" "src/phy/CMakeFiles/wsn_phy.dir/cc2420.cpp.o" "gcc" "src/phy/CMakeFiles/wsn_phy.dir/cc2420.cpp.o.d"
+  "/root/repo/src/phy/frame.cpp" "src/phy/CMakeFiles/wsn_phy.dir/frame.cpp.o" "gcc" "src/phy/CMakeFiles/wsn_phy.dir/frame.cpp.o.d"
+  "/root/repo/src/phy/timing.cpp" "src/phy/CMakeFiles/wsn_phy.dir/timing.cpp.o" "gcc" "src/phy/CMakeFiles/wsn_phy.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

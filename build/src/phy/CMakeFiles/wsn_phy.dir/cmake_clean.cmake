@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_phy.dir/cc2420.cpp.o"
+  "CMakeFiles/wsn_phy.dir/cc2420.cpp.o.d"
+  "CMakeFiles/wsn_phy.dir/frame.cpp.o"
+  "CMakeFiles/wsn_phy.dir/frame.cpp.o.d"
+  "CMakeFiles/wsn_phy.dir/timing.cpp.o"
+  "CMakeFiles/wsn_phy.dir/timing.cpp.o.d"
+  "libwsn_phy.a"
+  "libwsn_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwsn_phy.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for wsn_phy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_sim.dir/simulator.cpp.o"
+  "CMakeFiles/wsn_sim.dir/simulator.cpp.o.d"
+  "libwsn_sim.a"
+  "libwsn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

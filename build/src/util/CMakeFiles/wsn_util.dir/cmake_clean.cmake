@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_util.dir/args.cpp.o"
+  "CMakeFiles/wsn_util.dir/args.cpp.o.d"
+  "CMakeFiles/wsn_util.dir/csv.cpp.o"
+  "CMakeFiles/wsn_util.dir/csv.cpp.o.d"
+  "CMakeFiles/wsn_util.dir/histogram.cpp.o"
+  "CMakeFiles/wsn_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/wsn_util.dir/rng.cpp.o"
+  "CMakeFiles/wsn_util.dir/rng.cpp.o.d"
+  "CMakeFiles/wsn_util.dir/stats.cpp.o"
+  "CMakeFiles/wsn_util.dir/stats.cpp.o.d"
+  "CMakeFiles/wsn_util.dir/table.cpp.o"
+  "CMakeFiles/wsn_util.dir/table.cpp.o.d"
+  "CMakeFiles/wsn_util.dir/units.cpp.o"
+  "CMakeFiles/wsn_util.dir/units.cpp.o.d"
+  "libwsn_util.a"
+  "libwsn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

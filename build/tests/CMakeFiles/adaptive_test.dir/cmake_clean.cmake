@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_test.dir/adaptive_test.cpp.o"
+  "CMakeFiles/adaptive_test.dir/adaptive_test.cpp.o.d"
+  "adaptive_test"
+  "adaptive_test.pdb"
+  "adaptive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/args_test.dir/args_test.cpp.o"
+  "CMakeFiles/args_test.dir/args_test.cpp.o.d"
+  "args_test"
+  "args_test.pdb"
+  "args_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/args_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootstrap_test.dir/bootstrap_test.cpp.o"
+  "CMakeFiles/bootstrap_test.dir/bootstrap_test.cpp.o.d"
+  "bootstrap_test"
+  "bootstrap_test.pdb"
+  "bootstrap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootstrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

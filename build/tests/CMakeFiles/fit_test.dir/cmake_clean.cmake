@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fit_test.dir/fit_test.cpp.o"
+  "CMakeFiles/fit_test.dir/fit_test.cpp.o.d"
+  "fit_test"
+  "fit_test.pdb"
+  "fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guidelines_sweep_test.dir/guidelines_sweep_test.cpp.o"
+  "CMakeFiles/guidelines_sweep_test.dir/guidelines_sweep_test.cpp.o.d"
+  "guidelines_sweep_test"
+  "guidelines_sweep_test.pdb"
+  "guidelines_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guidelines_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

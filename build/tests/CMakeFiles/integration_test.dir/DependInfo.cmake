@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiment/CMakeFiles/wsn_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/wsn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/wsn_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wsn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/wsn_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/wsn_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/wsn_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wsn_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wsn_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

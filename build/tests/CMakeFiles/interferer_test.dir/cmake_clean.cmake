@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interferer_test.dir/interferer_test.cpp.o"
+  "CMakeFiles/interferer_test.dir/interferer_test.cpp.o.d"
+  "interferer_test"
+  "interferer_test.pdb"
+  "interferer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interferer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

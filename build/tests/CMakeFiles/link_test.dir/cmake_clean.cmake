@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_test.dir/link_test.cpp.o"
+  "CMakeFiles/link_test.dir/link_test.cpp.o.d"
+  "link_test"
+  "link_test.pdb"
+  "link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

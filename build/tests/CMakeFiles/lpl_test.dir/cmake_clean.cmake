@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpl_test.dir/lpl_test.cpp.o"
+  "CMakeFiles/lpl_test.dir/lpl_test.cpp.o.d"
+  "lpl_test"
+  "lpl_test.pdb"
+  "lpl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

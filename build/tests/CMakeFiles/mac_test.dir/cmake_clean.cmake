@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_test.dir/mac_test.cpp.o"
+  "CMakeFiles/mac_test.dir/mac_test.cpp.o.d"
+  "mac_test"
+  "mac_test.pdb"
+  "mac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

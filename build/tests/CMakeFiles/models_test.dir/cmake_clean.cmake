@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_test.dir/models_test.cpp.o"
+  "CMakeFiles/models_test.dir/models_test.cpp.o.d"
+  "models_test"
+  "models_test.pdb"
+  "models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

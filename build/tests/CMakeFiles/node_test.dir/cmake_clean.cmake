@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_test.dir/node_test.cpp.o"
+  "CMakeFiles/node_test.dir/node_test.cpp.o.d"
+  "node_test"
+  "node_test.pdb"
+  "node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_test.dir/sensitivity_test.cpp.o"
+  "CMakeFiles/sensitivity_test.dir/sensitivity_test.cpp.o.d"
+  "sensitivity_test"
+  "sensitivity_test.pdb"
+  "sensitivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_sum_test.dir/weighted_sum_test.cpp.o"
+  "CMakeFiles/weighted_sum_test.dir/weighted_sum_test.cpp.o.d"
+  "weighted_sum_test"
+  "weighted_sum_test.pdb"
+  "weighted_sum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_sum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

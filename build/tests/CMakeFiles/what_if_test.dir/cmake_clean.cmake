@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/what_if_test.dir/what_if_test.cpp.o"
+  "CMakeFiles/what_if_test.dir/what_if_test.cpp.o.d"
+  "what_if_test"
+  "what_if_test.pdb"
+  "what_if_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/what_if_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
