@@ -10,6 +10,7 @@
 #include "core/opt/epsilon_constraint.h"
 #include "node/link_simulation.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 #include "util/rng.h"
 
 namespace {
@@ -58,6 +59,67 @@ void BM_FullStackPackets(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FullStackPackets)->Arg(500)->Arg(2000);
+
+// The observability contract (docs/TRACING.md): tracing off must be
+// near-free. Compare against BM_FullStackPackets — the compiled-in hooks
+// (one null-pointer test per emission site) are required to stay within
+// ~2% of it. `collect_counters = false` also skips counter registration.
+void BM_FullStackPacketsObservabilityOff(benchmark::State& state) {
+  node::SimulationOptions options;
+  options.config.distance_m = 25.0;
+  options.config.pa_level = 19;
+  options.config.max_tries = 3;
+  options.config.queue_capacity = 10;
+  options.config.pkt_interval_ms = 50.0;
+  options.config.payload_bytes = 80;
+  options.packet_count = static_cast<int>(state.range(0));
+  options.collect_counters = false;  // tracer already defaults to null
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    benchmark::DoNotOptimize(node::RunLinkSimulation(options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullStackPacketsObservabilityOff)->Arg(500)->Arg(2000);
+
+// Fully instrumented run: counters plus a live tracer. This is the cost a
+// debugging session pays, not the default path.
+void BM_FullStackPacketsTraced(benchmark::State& state) {
+  node::SimulationOptions options;
+  options.config.distance_m = 25.0;
+  options.config.pa_level = 19;
+  options.config.max_tries = 3;
+  options.config.queue_capacity = 10;
+  options.config.pkt_interval_ms = 50.0;
+  options.config.payload_bytes = 80;
+  options.packet_count = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    trace::Tracer tracer;
+    options.tracer = &tracer;
+    options.seed = seed++;
+    benchmark::DoNotOptimize(node::RunLinkSimulation(options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullStackPacketsTraced)->Arg(500)->Arg(2000);
+
+// Raw ring throughput: an Emit is a bounds-computed store plus a counter
+// bump, so this should run at memory speed.
+void BM_TracerEmit(benchmark::State& state) {
+  trace::Tracer tracer;
+  trace::TraceEvent event;
+  event.type = trace::EventType::kTxAttemptStart;
+  event.layer = trace::Layer::kMac;
+  for (auto _ : state) {
+    event.at += 1;
+    tracer.Emit(event);
+    benchmark::DoNotOptimize(tracer);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerEmit);
 
 void BM_ModelPrediction(benchmark::State& state) {
   const core::models::ModelSet models;

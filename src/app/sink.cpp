@@ -2,6 +2,14 @@
 
 namespace wsnlink::app {
 
+void PacketSink::AttachTrace(const trace::TraceContext& ctx) {
+  counters_ = ctx.counters;
+  if (counters_ != nullptr) {
+    id_rx_unique_ = counters_->Register("app.rx_unique");
+    id_rx_duplicates_ = counters_->Register("app.rx_duplicates");
+  }
+}
+
 void PacketSink::OnDelivery(const mac::DeliveryInfo& info) {
   ReceptionRecord record;
   record.packet_id = info.packet_id;
@@ -16,8 +24,10 @@ void PacketSink::OnDelivery(const mac::DeliveryInfo& info) {
   if (fresh) {
     unique_bytes_ += static_cast<std::uint64_t>(info.payload_bytes);
     last_at_ = info.received_at;
+    if (counters_ != nullptr) counters_->Add(id_rx_unique_);
   } else {
     ++duplicates_;
+    if (counters_ != nullptr) counters_->Add(id_rx_duplicates_);
   }
 
   rssi_stats_.Add(info.rssi_dbm);

@@ -11,6 +11,7 @@
 
 #include "mac/csma_mac.h"
 #include "sim/time.h"
+#include "trace/trace.h"
 #include "util/stats.h"
 
 namespace wsnlink::app {
@@ -31,6 +32,11 @@ class PacketSink {
  public:
   /// Handles one decoded copy.
   void OnDelivery(const mac::DeliveryInfo& info);
+
+  /// Attaches observability sinks (the "app.rx_unique" / "app.rx_duplicates"
+  /// counters; the sink emits no events of its own — deliveries are traced
+  /// at the link layer).
+  void AttachTrace(const trace::TraceContext& ctx);
 
   /// Unique packets received.
   [[nodiscard]] std::size_t UniqueCount() const noexcept {
@@ -71,6 +77,11 @@ class PacketSink {
   util::RunningStats rssi_stats_;
   util::RunningStats snr_stats_;
   util::RunningStats lqi_stats_;
+
+  // Observability (null = off).
+  trace::CounterRegistry* counters_ = nullptr;
+  trace::CounterRegistry::Id id_rx_unique_ = 0;
+  trace::CounterRegistry::Id id_rx_duplicates_ = 0;
 };
 
 }  // namespace wsnlink::app

@@ -19,11 +19,25 @@ TrafficGenerator::TrafficGenerator(sim::Simulator& simulator,
   phy::ValidatePayloadSize(params_.payload_bytes);
 }
 
+void TrafficGenerator::AttachTrace(const trace::TraceContext& ctx) {
+  tracer_ = ctx.tracer;
+  counters_ = ctx.counters;
+  if (counters_ != nullptr) {
+    id_generated_ = counters_->Register("app.packets_generated");
+  }
+}
+
 void TrafficGenerator::Start() {
   sim_.Schedule(0, [this] { Emit(); });
 }
 
 void TrafficGenerator::Emit() {
+  if (counters_ != nullptr) counters_->Add(id_generated_);
+  if (tracer_ != nullptr) {
+    tracer_->Emit({sim_.Now(), trace::EventType::kPacketGenerated,
+                   trace::Layer::kApp, next_id_, params_.payload_bytes, 0,
+                   0.0});
+  }
   link_.Accept(next_id_++, params_.payload_bytes);
   ++generated_;
   if (Done()) return;

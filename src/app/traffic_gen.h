@@ -12,6 +12,7 @@
 
 #include "link/link_layer.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 #include "util/rng.h"
 
 namespace wsnlink::app {
@@ -39,6 +40,10 @@ class TrafficGenerator {
   /// Schedules the first arrival (at t = Now). Call once.
   void Start();
 
+  /// Attaches observability sinks (kPacketGenerated events and the
+  /// "app.packets_generated" counter). Call before Start().
+  void AttachTrace(const trace::TraceContext& ctx);
+
   /// Packets generated so far.
   [[nodiscard]] int Generated() const noexcept { return generated_; }
 
@@ -59,6 +64,11 @@ class TrafficGenerator {
   util::Rng rng_;
   int generated_ = 0;
   std::uint64_t next_id_ = 1;
+
+  // Observability (null = off).
+  trace::Tracer* tracer_ = nullptr;
+  trace::CounterRegistry* counters_ = nullptr;
+  trace::CounterRegistry::Id id_generated_ = 0;
 };
 
 }  // namespace wsnlink::app

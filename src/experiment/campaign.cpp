@@ -23,6 +23,8 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   sweep.base_seed = options.base_seed;
   sweep.packet_count = options.packet_count;
   sweep.threads = options.threads;
+  sweep.collect_counters = options.collect_counters;
+  sweep.capture_traces = options.capture_traces;
   sweep.progress = options.progress;
 
   CampaignResult result;
@@ -30,6 +32,13 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   result.configurations = result.points.size();
   result.total_packets = static_cast<std::uint64_t>(options.packet_count) *
                          result.configurations;
+
+  if (options.collect_counters) {
+    std::vector<std::vector<trace::CounterSample>> snapshots;
+    snapshots.reserve(result.points.size());
+    for (const auto& point : result.points) snapshots.push_back(point.counters);
+    result.counters = trace::MergeCounters(snapshots);
+  }
 
   if (!options.summary_csv_path.empty()) {
     WriteSummaryCsv(options.summary_csv_path, result.points);

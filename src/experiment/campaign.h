@@ -28,6 +28,12 @@ struct CampaignOptions {
   unsigned threads = 0;
   /// If non-empty, the per-config summary CSV is written here.
   std::string summary_csv_path;
+  /// Collect per-layer counters per point and roll them up into
+  /// CampaignResult::counters.
+  bool collect_counters = true;
+  /// Capture each run's event trace into its SweepPoint (expensive at
+  /// campaign scale; meant for debugging small subsampled campaigns).
+  bool capture_traces = false;
   /// Progress callback forwarded to the sweep (may be empty).
   std::function<void(std::size_t, std::size_t)> progress;
 };
@@ -39,6 +45,9 @@ struct CampaignResult {
   std::size_t configurations = 0;
   /// Total packets generated across the sweep.
   std::uint64_t total_packets = 0;
+  /// Campaign-wide counter roll-up: the per-point snapshots summed by
+  /// name (empty when collect_counters is false).
+  std::vector<trace::CounterSample> counters;
 };
 
 /// Runs the campaign. Deterministic in options.

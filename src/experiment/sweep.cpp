@@ -1,6 +1,7 @@
 #include "experiment/sweep.h"
 
 #include <atomic>
+#include <memory>
 #include <thread>
 
 #include "util/rng.h"
@@ -24,6 +25,7 @@ node::SimulationOptions MakeOptions(const core::StackConfig& config,
   options.analytic_ber = sweep.analytic_ber;
   options.disable_temporal_shadowing = sweep.disable_temporal_shadowing;
   options.disable_interference = sweep.disable_interference;
+  options.collect_counters = sweep.collect_counters;
   return options;
 }
 
@@ -57,12 +59,21 @@ std::vector<SweepPoint> RunSweep(const std::vector<core::StackConfig>& configs,
   std::vector<SweepPoint> points(configs.size());
   std::atomic<std::size_t> done{0};
   ParallelFor(configs.size(), options.threads, [&](std::size_t i) {
-    const auto sim_options = MakeOptions(configs[i], options, i);
-    const auto result = node::RunLinkSimulation(sim_options);
+    auto sim_options = MakeOptions(configs[i], options, i);
+    // Per-run tracer: runs never share observability state, which is what
+    // keeps captured traces identical across thread counts.
+    std::unique_ptr<trace::Tracer> tracer;
+    if (options.capture_traces) {
+      tracer = std::make_unique<trace::Tracer>(options.trace_capacity);
+      sim_options.tracer = tracer.get();
+    }
+    auto result = node::RunLinkSimulation(sim_options);
     points[i].config = configs[i];
     points[i].measured =
         metrics::ComputeMetrics(result, configs[i].pkt_interval_ms);
     points[i].mean_snr_db = result.mean_snr_db;
+    points[i].counters = std::move(result.counters);
+    if (tracer) points[i].events = tracer->Events();
     if (options.progress) {
       options.progress(done.fetch_add(1) + 1, configs.size());
     }

@@ -14,6 +14,7 @@
 #include "core/stack_config.h"
 #include "metrics/link_metrics.h"
 #include "node/link_simulation.h"
+#include "trace/trace.h"
 
 namespace wsnlink::experiment {
 
@@ -23,6 +24,13 @@ struct SweepPoint {
   metrics::LinkMetrics measured;
   /// Ground-truth mean SNR of the simulated link.
   double mean_snr_db = 0.0;
+  /// Per-layer counter roll-up of the run, sorted by name (empty when
+  /// SweepOptions::collect_counters is false).
+  std::vector<trace::CounterSample> counters;
+  /// The run's full event stream (only when SweepOptions::capture_traces;
+  /// each run owns its tracer, so capture stays deterministic under any
+  /// thread count).
+  std::vector<trace::TraceEvent> events;
 };
 
 /// Sweep options shared by every run.
@@ -36,6 +44,13 @@ struct SweepOptions {
   bool analytic_ber = false;
   bool disable_temporal_shadowing = false;
   bool disable_interference = false;
+  /// Collect per-layer counters into each SweepPoint.
+  bool collect_counters = true;
+  /// Capture each run's event trace into SweepPoint::events. Off by
+  /// default: a trace is ~100 bytes/event and campaign sweeps are large.
+  bool capture_traces = false;
+  /// Ring capacity per run when capture_traces is set.
+  std::size_t trace_capacity = trace::Tracer::kDefaultCapacity;
   /// Optional progress callback (invoked from worker threads with the
   /// number of completed runs; must be thread-safe). May be empty.
   std::function<void(std::size_t done, std::size_t total)> progress;

@@ -23,6 +23,19 @@ LinkLayer::LinkLayer(sim::Simulator& simulator, mac::Mac& mac,
   });
 }
 
+void LinkLayer::AttachTrace(const trace::TraceContext& ctx) {
+  tracer_ = ctx.tracer;
+  counters_ = ctx.counters;
+  if (counters_ != nullptr) {
+    id_accepted_ = counters_->Register("link.accepted");
+    id_queue_drops_ = counters_->Register("link.queue_drops");
+    id_served_ = counters_->Register("link.served");
+    id_completed_ = counters_->Register("link.completed");
+    id_acked_ = counters_->Register("link.acked");
+    id_deliveries_ = counters_->Register("link.deliveries");
+  }
+}
+
 bool LinkLayer::Accept(std::uint64_t packet_id, int payload_bytes) {
   PacketRecord record;
   record.id = packet_id;
@@ -30,12 +43,33 @@ bool LinkLayer::Accept(std::uint64_t packet_id, int payload_bytes) {
   record.arrived_at = sim_.Now();
   record.queue_depth_at_arrival = queue_.Occupancy();
 
+  if (tracer_ != nullptr) {
+    tracer_->Emit({sim_.Now(), trace::EventType::kPacketArrival,
+                   trace::Layer::kLink, packet_id,
+                   record.queue_depth_at_arrival, payload_bytes, 0.0});
+  }
+
   QueuedPacket packet{packet_id, payload_bytes, sim_.Now()};
   const bool accepted = queue_.Offer(packet);
   record.dropped_at_queue = !accepted;
 
   log_.AddPacket(record);
-  if (!accepted) return false;
+  if (!accepted) {
+    if (counters_ != nullptr) counters_->Add(id_queue_drops_);
+    if (tracer_ != nullptr) {
+      tracer_->Emit({sim_.Now(), trace::EventType::kQueueDrop,
+                     trace::Layer::kLink, packet_id, queue_.Occupancy(), 0,
+                     0.0});
+    }
+    return false;
+  }
+
+  if (counters_ != nullptr) counters_->Add(id_accepted_);
+  if (tracer_ != nullptr) {
+    tracer_->Emit({sim_.Now(), trace::EventType::kQueueEnqueue,
+                   trace::Layer::kLink, packet_id, queue_.Occupancy(), 0,
+                   0.0});
+  }
 
   open_records_[packet_id] = log_.Packets().size() - 1;
   if (!queue_.InService()) ServeNext();
@@ -52,6 +86,13 @@ void LinkLayer::ServeNext() {
     throw std::logic_error("LinkLayer: serving unknown packet");
   }
   log_.MutablePacket(it->second).service_start = sim_.Now();
+
+  if (counters_ != nullptr) counters_->Add(id_served_);
+  if (tracer_ != nullptr) {
+    tracer_->Emit({sim_.Now(), trace::EventType::kServiceStart,
+                   trace::Layer::kLink, head.id, queue_.Occupancy(),
+                   head.payload_bytes, 0.0});
+  }
 
   mac_.Send(head.id, head.payload_bytes,
             [this](const mac::SendResult& result) { OnSendDone(result); });
@@ -71,11 +112,29 @@ void LinkLayer::OnSendDone(const mac::SendResult& result) {
   record.listen_time = result.listen_time;
   open_records_.erase(it);
 
+  if (counters_ != nullptr) {
+    counters_->Add(id_completed_);
+    if (result.acked) counters_->Add(id_acked_);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Emit({sim_.Now(), trace::EventType::kPacketCompleted,
+                   trace::Layer::kLink, result.packet_id, result.tries,
+                   (result.acked ? trace::kFlagAcked : 0) |
+                       (result.delivered ? trace::kFlagDelivered : 0),
+                   result.tx_energy_uj});
+  }
+
   queue_.FinishService();
   ServeNext();
 }
 
 void LinkLayer::OnDelivery(const mac::DeliveryInfo& info) {
+  if (counters_ != nullptr) counters_->Add(id_deliveries_);
+  if (tracer_ != nullptr) {
+    tracer_->Emit({info.received_at, trace::EventType::kPacketDelivered,
+                   trace::Layer::kLink, info.packet_id, info.attempt,
+                   info.payload_bytes, info.rssi_dbm});
+  }
   const auto it = open_records_.find(info.packet_id);
   if (it != open_records_.end()) {
     PacketRecord& record = log_.MutablePacket(it->second);

@@ -14,6 +14,7 @@
 #include "link/transmit_queue.h"
 #include "mac/mac.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 
 namespace wsnlink::link {
 
@@ -33,6 +34,11 @@ class LinkLayer {
   bool Accept(std::uint64_t packet_id, int payload_bytes);
 
   void SetDeliveryCallback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
+
+  /// Attaches observability sinks; the link layer emits the queue/service
+  /// lifecycle events and maintains the "link.*" counters. Call before the
+  /// first Accept(); the context's pointees must outlive the link layer.
+  void AttachTrace(const trace::TraceContext& ctx);
 
   /// True once every accepted packet has completed (queue empty, MAC idle).
   [[nodiscard]] bool Idle() const noexcept;
@@ -55,6 +61,16 @@ class LinkLayer {
   // Index into log_.Packets() for each unfinished packet id.
   std::unordered_map<std::uint64_t, std::size_t> open_records_;
   std::uint64_t in_service_id_ = 0;
+
+  // Observability (null = off).
+  trace::Tracer* tracer_ = nullptr;
+  trace::CounterRegistry* counters_ = nullptr;
+  trace::CounterRegistry::Id id_accepted_ = 0;
+  trace::CounterRegistry::Id id_queue_drops_ = 0;
+  trace::CounterRegistry::Id id_served_ = 0;
+  trace::CounterRegistry::Id id_completed_ = 0;
+  trace::CounterRegistry::Id id_acked_ = 0;
+  trace::CounterRegistry::Id id_deliveries_ = 0;
 };
 
 }  // namespace wsnlink::link

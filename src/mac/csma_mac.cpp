@@ -22,6 +22,27 @@ CsmaMac::CsmaMac(sim::Simulator& simulator, channel::Channel& channel,
   }
 }
 
+void CsmaMac::AttachTrace(const trace::TraceContext& ctx) {
+  tracer_ = ctx.tracer;
+  counters_ = ctx.counters;
+  if (counters_ != nullptr) {
+    id_sends_ = counters_->Register("mac.sends");
+    id_tx_attempts_ = counters_->Register("mac.tx_attempts");
+    id_cca_busy_ = counters_->Register("mac.cca_busy");
+    id_frames_decoded_ = counters_->Register("mac.frames_decoded");
+    id_acks_received_ = counters_->Register("mac.acks_received");
+    id_bytes_radiated_ = counters_->Register("phy.bytes_radiated");
+  }
+}
+
+void CsmaMac::EmitRadioState(trace::RadioState state) {
+  if (tracer_ != nullptr) {
+    tracer_->Emit({sim_.Now(), trace::EventType::kRadioState,
+                   trace::Layer::kPhy, packet_id_,
+                   static_cast<std::int64_t>(state), 0, 0.0});
+  }
+}
+
 void CsmaMac::Send(std::uint64_t packet_id, int payload_bytes,
                    DoneCallback done) {
   if (busy_) throw std::logic_error("CsmaMac::Send while busy");
@@ -39,6 +60,9 @@ void CsmaMac::Send(std::uint64_t packet_id, int payload_bytes,
   tx_energy_uj_ = 0.0;
   listen_time_ = 0;
   done_ = std::move(done);
+
+  if (counters_ != nullptr) counters_->Add(id_sends_);
+  EmitRadioState(trace::RadioState::kListen);
 
   // One-time SPI load of the frame into the radio's TX FIFO.
   sim_.Schedule(phy::SpiLoadTime(payload_bytes_), [this] { StartAttempt(); });
@@ -60,6 +84,11 @@ void CsmaMac::DoCca(int cca_retries_left) {
     return;
   }
   ++cca_busy_;
+  if (counters_ != nullptr) counters_->Add(id_cca_busy_);
+  if (tracer_ != nullptr) {
+    tracer_->Emit({sim_.Now(), trace::EventType::kCcaBusy, trace::Layer::kMac,
+                   packet_id_, cca_retries_left, 0, 0.0});
+  }
   if (cca_retries_left <= 0) {
     // Persistent interference: the attempt is consumed without a
     // transmission, mirroring TinyOS's EBUSY send-done path.
@@ -80,10 +109,22 @@ void CsmaMac::TransmitFrame() {
   tx_energy_uj_ += phy::EnergyPerBitMicrojoule(params_.pa_level) * 8.0 *
                    static_cast<double>(frame_bytes_);
 
+  if (counters_ != nullptr) {
+    counters_->Add(id_tx_attempts_);
+    counters_->Add(id_bytes_radiated_, static_cast<std::uint64_t>(frame_bytes_));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Emit({sim_.Now(), trace::EventType::kTxAttemptStart,
+                   trace::Layer::kMac, packet_id_, tries_done_, frame_bytes_,
+                   0.0});
+  }
+  EmitRadioState(trace::RadioState::kTx);
+
   const int attempt = tries_done_;
   sim_.Schedule(airtime, [this, attempt] {
     const double tx_dbm = phy::OutputPowerDbm(params_.pa_level);
     const auto outcome = channel_.Transmit(tx_dbm, frame_bytes_, sim_.Now());
+    EmitRadioState(trace::RadioState::kListen);
 
     AttemptInfo attempt_info;
     attempt_info.packet_id = packet_id_;
@@ -95,6 +136,11 @@ void CsmaMac::TransmitFrame() {
     attempt_info.data_received = outcome.received;
 
     if (!outcome.received) {
+      if (tracer_ != nullptr) {
+        tracer_->Emit({sim_.Now(), trace::EventType::kTxAttemptResult,
+                       trace::Layer::kMac, packet_id_, attempt, 0,
+                       outcome.snr_db});
+      }
       if (on_attempt_) on_attempt_(attempt_info);
       // Data frame lost: sender idles through the full ACK-wait window.
       listen_time_ += phy::kAckWaitTimeout;
@@ -103,6 +149,7 @@ void CsmaMac::TransmitFrame() {
     }
     // Receiver decoded this copy.
     delivered_any_ = true;
+    if (counters_ != nullptr) counters_->Add(id_frames_decoded_);
     if (on_delivery_) {
       DeliveryInfo info;
       info.packet_id = packet_id_;
@@ -119,6 +166,18 @@ void CsmaMac::TransmitFrame() {
     const auto ack = channel_.Transmit(phy::OutputPowerDbm(params_.pa_level),
                                        phy::kAckFrameBytes, sim_.Now());
     attempt_info.acked = ack.received;
+    if (tracer_ != nullptr) {
+      tracer_->Emit({sim_.Now(), trace::EventType::kTxAttemptResult,
+                     trace::Layer::kMac, packet_id_, attempt,
+                     trace::kFlagDataReceived |
+                         (ack.received ? trace::kFlagAckReceived : 0),
+                     outcome.snr_db});
+      if (ack.received) {
+        tracer_->Emit({sim_.Now(), trace::EventType::kAckReceived,
+                       trace::Layer::kMac, packet_id_, attempt, 0, 0.0});
+      }
+    }
+    if (counters_ != nullptr && ack.received) counters_->Add(id_acks_received_);
     if (on_attempt_) on_attempt_(attempt_info);
     if (ack.received) {
       listen_time_ += phy::kAckTime;
@@ -157,6 +216,7 @@ void CsmaMac::Complete() {
   result.listen_time = listen_time_;
 
   busy_ = false;
+  EmitRadioState(trace::RadioState::kIdle);
   // Move the callback out before invoking: the callback will typically call
   // Send() again for the next queued packet.
   DoneCallback done = std::move(done_);

@@ -52,6 +52,8 @@ class CsmaMac final : public Mac {
     on_attempt_ = std::move(cb);
   }
 
+  void AttachTrace(const trace::TraceContext& ctx) override;
+
   [[nodiscard]] const MacParams& Params() const noexcept { return params_; }
 
   /// Cumulative count of CCA checks that found the channel busy.
@@ -63,6 +65,7 @@ class CsmaMac final : public Mac {
   void TransmitFrame();
   void FinishAttempt(bool acked);
   void Complete();
+  void EmitRadioState(trace::RadioState state);
 
   sim::Simulator& sim_;
   channel::Channel& channel_;
@@ -85,6 +88,16 @@ class CsmaMac final : public Mac {
   DoneCallback done_;
 
   std::uint64_t cca_busy_ = 0;
+
+  // Observability (null = off).
+  trace::Tracer* tracer_ = nullptr;
+  trace::CounterRegistry* counters_ = nullptr;
+  trace::CounterRegistry::Id id_sends_ = 0;
+  trace::CounterRegistry::Id id_tx_attempts_ = 0;
+  trace::CounterRegistry::Id id_cca_busy_ = 0;
+  trace::CounterRegistry::Id id_frames_decoded_ = 0;
+  trace::CounterRegistry::Id id_acks_received_ = 0;
+  trace::CounterRegistry::Id id_bytes_radiated_ = 0;
 };
 
 /// Maximum number of congestion backoffs per attempt before the attempt is

@@ -41,6 +41,19 @@ LplMac::LplMac(sim::Simulator& simulator, channel::Channel& channel,
       rng_.UniformInt(0, params_.wakeup_interval - 1));
 }
 
+void LplMac::AttachTrace(const trace::TraceContext& ctx) {
+  tracer_ = ctx.tracer;
+  counters_ = ctx.counters;
+  if (counters_ != nullptr) {
+    id_sends_ = counters_->Register("mac.sends");
+    id_trains_ = counters_->Register("mac.lpl_trains");
+    id_copies_ = counters_->Register("mac.lpl_copies");
+    id_frames_decoded_ = counters_->Register("mac.frames_decoded");
+    id_acks_received_ = counters_->Register("mac.acks_received");
+    id_bytes_radiated_ = counters_->Register("phy.bytes_radiated");
+  }
+}
+
 double LplMac::ReceiverIdleDutyCycle() const noexcept {
   return static_cast<double>(params_.probe_duration) /
          static_cast<double>(params_.wakeup_interval);
@@ -78,12 +91,18 @@ void LplMac::Send(std::uint64_t packet_id, int payload_bytes,
   tx_energy_uj_ = 0.0;
   done_ = std::move(done);
 
+  if (counters_ != nullptr) counters_->Add(id_sends_);
   sim_.Schedule(phy::SpiLoadTime(payload_bytes_), [this] { StartTrain(); });
 }
 
 void LplMac::StartTrain() {
   ++trains_done_;
   receiver_latched_ = false;
+  if (counters_ != nullptr) counters_->Add(id_trains_);
+  if (tracer_ != nullptr) {
+    tracer_->Emit({sim_.Now(), trace::EventType::kLplTrainStart,
+                   trace::Layer::kMac, packet_id_, trains_done_, 0, 0.0});
+  }
   // Short CSMA backoff, then the train runs for up to one wakeup interval
   // plus a probe (guaranteeing the receiver's window is covered).
   const auto backoff = static_cast<sim::Duration>(
@@ -102,14 +121,29 @@ void LplMac::SendCopy(sim::Time train_deadline) {
   tx_energy_uj_ += phy::EnergyPerBitMicrojoule(params_.pa_level) * 8.0 *
                    static_cast<double>(frame_bytes_);
 
+  if (counters_ != nullptr) {
+    counters_->Add(id_copies_);
+    counters_->Add(id_bytes_radiated_, static_cast<std::uint64_t>(frame_bytes_));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Emit({sim_.Now(), trace::EventType::kLplCopySent,
+                   trace::Layer::kMac, packet_id_, trains_done_,
+                   copies_this_packet_, 0.0});
+  }
+
   sim_.Schedule(airtime, [this, train_deadline] {
     const double tx_dbm = phy::OutputPowerDbm(params_.pa_level);
     const auto outcome = channel_.Transmit(tx_dbm, frame_bytes_, sim_.Now());
     const bool decoded = outcome.received && ReceiverAwake(sim_.Now());
 
     if (decoded) {
+      if (!receiver_latched_ && tracer_ != nullptr) {
+        tracer_->Emit({sim_.Now(), trace::EventType::kLplReceiverWake,
+                       trace::Layer::kMac, packet_id_, trains_done_, 0, 0.0});
+      }
       receiver_latched_ = true;
       delivered_any_ = true;
+      if (counters_ != nullptr) counters_->Add(id_frames_decoded_);
       if (on_delivery_) {
         DeliveryInfo info;
         info.packet_id = packet_id_;
@@ -125,6 +159,11 @@ void LplMac::SendCopy(sim::Time train_deadline) {
       const auto ack = channel_.Transmit(tx_dbm, phy::kAckFrameBytes,
                                          sim_.Now());
       if (ack.received) {
+        if (counters_ != nullptr) counters_->Add(id_acks_received_);
+        if (tracer_ != nullptr) {
+          tracer_->Emit({sim_.Now(), trace::EventType::kAckReceived,
+                         trace::Layer::kMac, packet_id_, trains_done_, 0, 0.0});
+        }
         if (on_attempt_) {
           AttemptInfo info;
           info.packet_id = packet_id_;

@@ -61,6 +61,8 @@ class LplMac final : public Mac {
     on_attempt_ = std::move(cb);
   }
 
+  void AttachTrace(const trace::TraceContext& ctx) override;
+
   [[nodiscard]] const LplParams& Params() const noexcept { return params_; }
 
   /// Receiver radio duty cycle implied by the parameters (fraction of time
@@ -110,6 +112,16 @@ class LplMac final : public Mac {
   DoneCallback done_;
 
   std::uint64_t copies_sent_ = 0;
+
+  // Observability (null = off).
+  trace::Tracer* tracer_ = nullptr;
+  trace::CounterRegistry* counters_ = nullptr;
+  trace::CounterRegistry::Id id_sends_ = 0;
+  trace::CounterRegistry::Id id_trains_ = 0;
+  trace::CounterRegistry::Id id_copies_ = 0;
+  trace::CounterRegistry::Id id_frames_decoded_ = 0;
+  trace::CounterRegistry::Id id_acks_received_ = 0;
+  trace::CounterRegistry::Id id_bytes_radiated_ = 0;
 };
 
 }  // namespace wsnlink::mac

@@ -11,6 +11,7 @@
 #include <functional>
 
 #include "sim/time.h"
+#include "trace/trace.h"
 
 namespace wsnlink::mac {
 
@@ -87,6 +88,11 @@ class Mac {
 
   /// Installs the per-attempt observer (may be empty).
   virtual void SetAttemptCallback(AttemptCallback cb) = 0;
+
+  /// Attaches observability sinks (event tracer and/or counter registry).
+  /// Default: no instrumentation. The context's pointees must outlive the
+  /// MAC; call before the first Send().
+  virtual void AttachTrace(const trace::TraceContext& /*ctx*/) {}
 };
 
 }  // namespace wsnlink::mac

@@ -90,6 +90,21 @@ SimulationResult RunLinkSimulation(const SimulationOptions& options) {
   app::TrafficGenerator generator(simulator, link, traffic,
                                   root.Derive("traffic"));
 
+  // Observability: one registry per run; the tracer (if any) is the
+  // caller's. Attached before the first event fires so the counter ids are
+  // registered and the trace covers the whole run.
+  trace::CounterRegistry registry;
+  trace::TraceContext ctx;
+  ctx.tracer = options.tracer;
+  ctx.counters = options.collect_counters ? &registry : nullptr;
+  if (ctx.Active()) {
+    simulator.AttachTrace(ctx);
+    mac->AttachTrace(ctx);
+    link.AttachTrace(ctx);
+    generator.AttachTrace(ctx);
+    sink.AttachTrace(ctx);
+  }
+
   SimulationResult result;
   generator.Start();
   simulator.Run();
@@ -109,6 +124,7 @@ SimulationResult RunLinkSimulation(const SimulationOptions& options) {
   result.cca_busy = csma != nullptr ? csma->CcaBusyCount() : 0;
   result.receiver_idle_duty = receiver_idle_duty;
   result.events_executed = simulator.EventsExecuted();
+  if (ctx.counters != nullptr) result.counters = registry.Snapshot();
   return result;
 }
 

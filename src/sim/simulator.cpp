@@ -13,6 +13,15 @@ bool EventHandle::Pending() const noexcept {
   return state_ && !state_->cancelled && !state_->fired;
 }
 
+void Simulator::AttachTrace(const trace::TraceContext& ctx) {
+  counters_ = ctx.counters;
+  if (counters_ != nullptr) {
+    id_scheduled_ = counters_->Register("sim.events_scheduled");
+    id_executed_ = counters_->Register("sim.events_executed");
+    id_cancelled_ = counters_->Register("sim.events_cancelled");
+  }
+}
+
 EventHandle Simulator::Schedule(Duration delay, std::function<void()> fn) {
   if (delay < 0) throw std::invalid_argument("Simulator::Schedule: negative delay");
   return ScheduleAt(now_ + delay, std::move(fn));
@@ -23,6 +32,7 @@ EventHandle Simulator::ScheduleAt(Time at, std::function<void()> fn) {
   if (!fn) throw std::invalid_argument("Simulator::ScheduleAt: empty callback");
   auto state = std::make_shared<EventHandle::State>();
   queue_.push(Entry{at, next_seq_++, std::move(fn), state});
+  if (counters_ != nullptr) counters_->Add(id_scheduled_);
   return EventHandle(std::move(state));
 }
 
@@ -31,10 +41,14 @@ bool Simulator::Step() {
     // priority_queue::top is const; the entry must be copied out before pop.
     Entry entry = queue_.top();
     queue_.pop();
-    if (entry.state->cancelled) continue;
+    if (entry.state->cancelled) {
+      if (counters_ != nullptr) counters_->Add(id_cancelled_);
+      continue;
+    }
     now_ = entry.at;
     entry.state->fired = true;
     ++executed_;
+    if (counters_ != nullptr) counters_->Add(id_executed_);
     entry.fn();
     return true;
   }
@@ -47,6 +61,7 @@ std::size_t Simulator::RunUntil(Time until) {
     // Skip cancelled heads without advancing the clock.
     if (queue_.top().state->cancelled) {
       queue_.pop();
+      if (counters_ != nullptr) counters_->Add(id_cancelled_);
       continue;
     }
     if (queue_.top().at > until) break;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "trace/trace.h"
 
 namespace wsnlink::sim {
 
@@ -77,6 +78,12 @@ class Simulator {
   /// Total number of events executed so far (excludes cancelled ones).
   [[nodiscard]] std::uint64_t EventsExecuted() const noexcept { return executed_; }
 
+  /// Attaches observability sinks; the kernel maintains the
+  /// "sim.events_scheduled" / "sim.events_executed" /
+  /// "sim.events_cancelled" counters. The context's pointees must outlive
+  /// the simulator.
+  void AttachTrace(const trace::TraceContext& ctx);
+
  private:
   struct Entry {
     Time at;
@@ -95,6 +102,11 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+
+  trace::CounterRegistry* counters_ = nullptr;
+  trace::CounterRegistry::Id id_scheduled_ = 0;
+  trace::CounterRegistry::Id id_executed_ = 0;
+  trace::CounterRegistry::Id id_cancelled_ = 0;
 };
 
 }  // namespace wsnlink::sim

@@ -1,0 +1,46 @@
+#include "trace/counters.h"
+
+#include <algorithm>
+
+namespace wsnlink::trace {
+
+CounterRegistry::Id CounterRegistry::Register(const std::string& name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const Id id = names_.size();
+  names_.push_back(name);
+  values_.push_back(0);
+  index_.emplace(name, id);
+  return id;
+}
+
+std::uint64_t CounterRegistry::Value(const std::string& name) const noexcept {
+  const auto it = index_.find(name);
+  return it == index_.end() ? 0 : values_[it->second];
+}
+
+std::vector<CounterSample> CounterRegistry::Snapshot() const {
+  std::vector<CounterSample> out;
+  out.reserve(names_.size());
+  // index_ is already name-ordered.
+  for (const auto& [name, id] : index_) {
+    out.push_back(CounterSample{name, values_[id]});
+  }
+  return out;
+}
+
+std::vector<CounterSample> MergeCounters(
+    const std::vector<std::vector<CounterSample>>& snapshots) {
+  std::map<std::string, std::uint64_t> total;
+  for (const auto& snapshot : snapshots) {
+    for (const auto& sample : snapshot) total[sample.name] += sample.value;
+  }
+  std::vector<CounterSample> out;
+  out.reserve(total.size());
+  for (const auto& [name, value] : total) {
+    out.push_back(CounterSample{name, value});
+  }
+  return out;
+}
+
+}  // namespace wsnlink::trace

@@ -1,0 +1,59 @@
+// Named monotonic counters, one registry per run.
+//
+// Each stack layer registers its counters by name ("mac.tx_attempts",
+// "link.queue_drops", ...) and bumps them through a stable integer id, so
+// the hot path is an array increment behind a null check. Snapshots are
+// sorted by name, which makes them comparable across runs and mergeable
+// across a sweep (the campaign's aggregated roll-up).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wsnlink::trace {
+
+/// One counter reading in a snapshot.
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+
+  friend bool operator==(const CounterSample&, const CounterSample&) = default;
+};
+
+/// Registry of named monotonic counters. Not thread-safe: one registry
+/// belongs to one simulation run.
+class CounterRegistry {
+ public:
+  using Id = std::size_t;
+
+  /// Returns the id for `name`, creating the counter (at zero) on first
+  /// use. Registering the same name again returns the same id.
+  Id Register(const std::string& name);
+
+  /// Adds `delta` to a registered counter. Requires a valid id.
+  void Add(Id id, std::uint64_t delta = 1) noexcept { values_[id] += delta; }
+
+  /// Current value by name; 0 for unregistered names.
+  [[nodiscard]] std::uint64_t Value(const std::string& name) const noexcept;
+
+  /// Number of registered counters.
+  [[nodiscard]] std::size_t Size() const noexcept { return names_.size(); }
+
+  /// All counters, sorted by name.
+  [[nodiscard]] std::vector<CounterSample> Snapshot() const;
+
+ private:
+  std::vector<std::string> names_;   // by id
+  std::vector<std::uint64_t> values_;  // by id
+  std::map<std::string, Id> index_;
+};
+
+/// Sums counter snapshots by name (the per-campaign roll-up of per-run
+/// snapshots). Result is sorted by name.
+[[nodiscard]] std::vector<CounterSample> MergeCounters(
+    const std::vector<std::vector<CounterSample>>& snapshots);
+
+}  // namespace wsnlink::trace

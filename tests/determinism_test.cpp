@@ -1,0 +1,142 @@
+// Thread-count determinism regression.
+//
+// The sweep driver promises results deterministic in (base_seed, config
+// order) regardless of worker count. This pins that promise bit-exactly:
+// a single-threaded sweep and an 8-worker sweep over the same configs must
+// produce identical metric vectors, identical counter snapshots and —
+// with capture_traces on — identical per-run event streams. A campaign
+// run through the same paths must serialize to a byte-identical CSV.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/opt/config_space.h"
+#include "experiment/campaign.h"
+#include "experiment/sweep.h"
+
+namespace wsnlink {
+namespace {
+
+std::vector<core::StackConfig> TestConfigs() {
+  // A deterministic slice of the paper's Table I space covering short and
+  // long distances, both CCA modes and several payload/queue settings.
+  const auto space = core::opt::ConfigSpace::PaperTableI();
+  std::vector<core::StackConfig> configs;
+  for (std::size_t i = 0; i < space.Size(); i += space.Size() / 6 + 1) {
+    configs.push_back(space.At(i));
+  }
+  return configs;
+}
+
+experiment::SweepOptions BaseOptions(unsigned threads) {
+  experiment::SweepOptions options;
+  options.base_seed = 99;
+  options.packet_count = 120;
+  options.threads = threads;
+  options.capture_traces = true;
+  return options;
+}
+
+void ExpectMetricsIdentical(const metrics::LinkMetrics& a,
+                            const metrics::LinkMetrics& b, std::size_t i) {
+  EXPECT_EQ(a.generated, b.generated) << "config " << i;
+  EXPECT_EQ(a.delivered_unique, b.delivered_unique) << "config " << i;
+  EXPECT_EQ(a.duplicates, b.duplicates) << "config " << i;
+  // Bit-exact double comparison is intentional: same seed, same order of
+  // operations, any divergence is a determinism bug.
+  EXPECT_EQ(a.per, b.per) << "config " << i;
+  EXPECT_EQ(a.mean_tries_all, b.mean_tries_all) << "config " << i;
+  EXPECT_EQ(a.goodput_kbps, b.goodput_kbps) << "config " << i;
+  EXPECT_EQ(a.energy_uj_per_bit, b.energy_uj_per_bit) << "config " << i;
+  EXPECT_EQ(a.mean_delay_ms, b.mean_delay_ms) << "config " << i;
+  EXPECT_EQ(a.p99_delay_ms, b.p99_delay_ms) << "config " << i;
+  EXPECT_EQ(a.plr_queue, b.plr_queue) << "config " << i;
+  EXPECT_EQ(a.plr_radio, b.plr_radio) << "config " << i;
+  EXPECT_EQ(a.plr_total, b.plr_total) << "config " << i;
+  EXPECT_EQ(a.mean_rssi_dbm, b.mean_rssi_dbm) << "config " << i;
+  EXPECT_EQ(a.mean_snr_db, b.mean_snr_db) << "config " << i;
+  EXPECT_EQ(a.mean_lqi, b.mean_lqi) << "config " << i;
+  EXPECT_EQ(a.duration_s, b.duration_s) << "config " << i;
+}
+
+TEST(Determinism, SweepIdenticalAcrossThreadCounts) {
+  const auto configs = TestConfigs();
+  ASSERT_GE(configs.size(), 4u);
+
+  const auto serial = RunSweep(configs, BaseOptions(1));
+  const auto parallel = RunSweep(configs, BaseOptions(8));
+  ASSERT_EQ(serial.size(), parallel.size());
+
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ExpectMetricsIdentical(serial[i].measured, parallel[i].measured, i);
+    EXPECT_EQ(serial[i].mean_snr_db, parallel[i].mean_snr_db) << "config " << i;
+
+    // Counter snapshots: same names, same values, same order.
+    ASSERT_EQ(serial[i].counters.size(), parallel[i].counters.size())
+        << "config " << i;
+    EXPECT_TRUE(serial[i].counters == parallel[i].counters) << "config " << i;
+
+    // Event streams: bit-identical traces (timestamps, ids, args, values).
+    ASSERT_EQ(serial[i].events.size(), parallel[i].events.size())
+        << "config " << i;
+    EXPECT_TRUE(serial[i].events == parallel[i].events) << "config " << i;
+    EXPECT_FALSE(serial[i].events.empty()) << "config " << i;
+  }
+}
+
+TEST(Determinism, RepeatedSweepIsIdentical) {
+  const auto configs = TestConfigs();
+  const auto first = RunSweep(configs, BaseOptions(4));
+  const auto second = RunSweep(configs, BaseOptions(4));
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ExpectMetricsIdentical(first[i].measured, second[i].measured, i);
+    EXPECT_TRUE(first[i].events == second[i].events) << "config " << i;
+  }
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(Determinism, CampaignCsvIdenticalAcrossThreadCounts) {
+  const std::string path1 = testing::TempDir() + "/campaign_t1.csv";
+  const std::string path8 = testing::TempDir() + "/campaign_t8.csv";
+
+  experiment::CampaignOptions options;
+  options.stride = options.space.Size() / 8 + 1;  // 8 configurations
+  options.packet_count = 80;
+  options.base_seed = 77;
+
+  options.threads = 1;
+  options.summary_csv_path = path1;
+  const auto serial = RunCampaign(options);
+
+  options.threads = 8;
+  options.summary_csv_path = path8;
+  const auto parallel = RunCampaign(options);
+
+  EXPECT_EQ(serial.configurations, parallel.configurations);
+  EXPECT_EQ(serial.total_packets, parallel.total_packets);
+  EXPECT_TRUE(serial.counters == parallel.counters);
+  EXPECT_FALSE(serial.counters.empty());
+
+  const std::string csv1 = ReadFile(path1);
+  const std::string csv8 = ReadFile(path8);
+  EXPECT_FALSE(csv1.empty());
+  EXPECT_EQ(csv1, csv8);
+
+  std::remove(path1.c_str());
+  std::remove(path8.c_str());
+}
+
+}  // namespace
+}  // namespace wsnlink

@@ -8,6 +8,11 @@
 // does not trip them, while any behavioural change does.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "experiment/campaign.h"
 #include "metrics/link_metrics.h"
 #include "node/link_simulation.h"
 
@@ -59,6 +64,51 @@ TEST(Golden, GreyZoneReferenceRun) {
   ExpectNear(m.per, 0.19028340080971659, "per");
   ExpectNear(m.mean_tries_acked, 1.2650000000000001, "tries");
   ExpectNear(m.plr_radio, 0.0, "plr_radio");
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// The reference campaign behind tests/golden/campaign_summary.csv: a fixed
+// 8-configuration stride through the Table I space. To regenerate after an
+// intentional behaviour change, run the `golden_campaign_csv` target's
+// recipe (see docs/TRACING.md) or copy the <temp>.csv this test writes.
+experiment::CampaignOptions GoldenCampaignOptions() {
+  experiment::CampaignOptions options;
+  options.stride = options.space.Size() / 8 + 1;
+  options.packet_count = 60;
+  options.base_seed = 20150629;  // ICDCS'15 opening day
+  options.threads = 2;
+  return options;
+}
+
+TEST(Golden, CampaignSummaryCsvMatchesCheckedInFile) {
+  const std::string golden_path =
+      std::string(WSNLINK_GOLDEN_DIR) + "/campaign_summary.csv";
+  const std::string out_path = testing::TempDir() + "/campaign_summary.csv";
+
+  auto options = GoldenCampaignOptions();
+  options.summary_csv_path = out_path;
+  const auto result = RunCampaign(options);
+  EXPECT_EQ(result.configurations, 8u);
+
+  const std::string expected = ReadFile(golden_path);
+  const std::string actual = ReadFile(out_path);
+  ASSERT_FALSE(expected.empty())
+      << "golden file missing: " << golden_path
+      << " — regenerate by copying " << out_path;
+  // Byte-identical: the CSV writer formats deterministically
+  // (util::FormatDouble with fixed precision), so any diff is a
+  // behavioural change that must be reviewed, not noise.
+  EXPECT_EQ(actual, expected)
+      << "campaign summary drifted; if intentional, refresh "
+      << golden_path << " from " << out_path;
+  std::remove(out_path.c_str());
 }
 
 }  // namespace
