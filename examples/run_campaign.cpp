@@ -6,6 +6,7 @@
 //
 // Usage:
 //   run_campaign [--stride N] [--packets N] [--out PATH] [--threads N]
+//                [--seed N]
 //
 // The full campaign is 48,384 configurations; the default stride of 97
 // keeps a quick demonstration under a minute. `--stride 1 --packets 4500`
@@ -27,13 +28,14 @@ int main(int argc, char** argv) {
     options.packet_count = args.GetInt("--packets", 200);
     options.summary_csv_path = args.GetString("--out", "campaign_summary.csv");
     options.threads = static_cast<unsigned>(args.GetInt("--threads", 0));
+    options.base_seed = args.GetSize("--seed", options.base_seed);
     if (!args.Positional().empty()) {
       throw std::invalid_argument("unexpected positional argument");
     }
   } catch (const std::exception& e) {
     std::cerr << e.what()
               << "\nusage: run_campaign [--stride N] [--packets N] "
-                 "[--out PATH] [--threads N]\n";
+                 "[--out PATH] [--threads N] [--seed N]\n";
     return 2;
   }
 

@@ -10,6 +10,19 @@ void PacketSink::AttachTrace(const trace::TraceContext& ctx) {
   }
 }
 
+void PacketSink::Reserve(std::size_t packet_count) {
+  seen_.reserve(packet_count + 1);
+  receptions_.reserve(packet_count);
+}
+
+bool PacketSink::MarkSeen(std::uint64_t packet_id) {
+  if (packet_id >= seen_.size()) seen_.resize(packet_id + 1, 0);
+  const bool fresh = seen_[packet_id] == 0;
+  seen_[packet_id] = 1;
+  if (fresh) ++unique_count_;
+  return fresh;
+}
+
 void PacketSink::OnDelivery(const mac::DeliveryInfo& info) {
   ReceptionRecord record;
   record.packet_id = info.packet_id;
@@ -19,7 +32,7 @@ void PacketSink::OnDelivery(const mac::DeliveryInfo& info) {
   record.snr_db = info.snr_db;
   record.lqi = info.lqi;
 
-  const bool fresh = seen_.insert(info.packet_id).second;
+  const bool fresh = MarkSeen(info.packet_id);
   record.duplicate = !fresh;
   if (fresh) {
     unique_bytes_ += static_cast<std::uint64_t>(info.payload_bytes);

@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "mac/csma_mac.h"
@@ -38,9 +37,13 @@ class PacketSink {
   /// at the link layer).
   void AttachTrace(const trace::TraceContext& ctx);
 
+  /// Pre-sizes the reception log and the duplicate-suppression table (ids
+  /// are sequential per run, so the caller knows both bounds up front).
+  void Reserve(std::size_t packet_count);
+
   /// Unique packets received.
   [[nodiscard]] std::size_t UniqueCount() const noexcept {
-    return seen_.size();
+    return unique_count_;
   }
   /// Duplicate copies received (retransmissions of already-received data).
   [[nodiscard]] std::uint64_t DuplicateCount() const noexcept {
@@ -69,7 +72,11 @@ class PacketSink {
   }
 
  private:
-  std::unordered_set<std::uint64_t> seen_;
+  /// Duplicate suppression: packet ids are small sequential integers, so a
+  /// dense byte-per-id table beats a hash set on the delivery hot path.
+  [[nodiscard]] bool MarkSeen(std::uint64_t packet_id);
+  std::vector<std::uint8_t> seen_;
+  std::size_t unique_count_ = 0;
   std::vector<ReceptionRecord> receptions_;
   std::uint64_t duplicates_ = 0;
   std::uint64_t unique_bytes_ = 0;

@@ -45,6 +45,18 @@ Channel::Channel(ChannelConfig config, std::unique_ptr<BerModel> ber,
 Channel::Channel(ChannelConfig config, util::Rng rng)
     : Channel(config, MakeDefaultBerModel(), rng) {}
 
+double Channel::PathRssiDbm(double tx_power_dbm, double distance_m) const {
+  if (!rssi_cache_valid_ || tx_power_dbm != rssi_cache_tx_dbm_ ||
+      distance_m != rssi_cache_dist_m_) {
+    rssi_cache_tx_dbm_ = tx_power_dbm;
+    rssi_cache_dist_m_ = distance_m;
+    rssi_cache_value_ = path_loss_.MeanRssiDbm(tx_power_dbm, distance_m) +
+                        config_.spatial_shadow_db;
+    rssi_cache_valid_ = true;
+  }
+  return rssi_cache_value_;
+}
+
 double Channel::MeanRssiDbm(double tx_power_dbm) const {
   return path_loss_.MeanRssiDbm(tx_power_dbm, config_.distance_m) +
          config_.spatial_shadow_db;
@@ -72,9 +84,8 @@ TransmissionOutcome Channel::Transmit(double tx_power_dbm, int frame_bytes,
     throw std::invalid_argument("Channel::Transmit: frame_bytes must be > 0");
   }
   TransmissionOutcome out;
-  out.rssi_dbm =
-      path_loss_.MeanRssiDbm(tx_power_dbm, DistanceAt(now)) +
-      config_.spatial_shadow_db + shadowing_.Sample(now);
+  out.rssi_dbm = PathRssiDbm(tx_power_dbm, DistanceAt(now)) +
+                 shadowing_.Sample(now);
   out.noise_dbm = noise_.SampleDbm(now);
   out.snr_db = out.rssi_dbm - out.noise_dbm;
   out.lqi = SnrToLqi(out.snr_db, lqi_rng_);

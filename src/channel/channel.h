@@ -118,6 +118,16 @@ class Channel {
   MobilityModel mobility_;
   util::Rng loss_rng_;  // per-frame delivery coin flips
   util::Rng lqi_rng_;   // LQI measurement noise
+
+  /// Memoised path-loss RSSI (path loss + spatial offset) for the last
+  /// (tx power, distance) pair. Transmit() recomputes the same log10 every
+  /// frame on static links; caching on exact input equality returns the
+  /// identical double, so results are bit-for-bit unchanged.
+  double PathRssiDbm(double tx_power_dbm, double distance_m) const;
+  mutable double rssi_cache_tx_dbm_ = 0.0;
+  mutable double rssi_cache_dist_m_ = 0.0;
+  mutable double rssi_cache_value_ = 0.0;
+  mutable bool rssi_cache_valid_ = false;
 };
 
 /// Maps SNR to a CC2420-style LQI value with measurement noise.

@@ -25,7 +25,11 @@ struct CampaignOptions {
   /// subsampling for quick passes. Must be >= 1.
   std::size_t stride = 1;
   std::uint64_t base_seed = 2013;  // the paper's measurement year
+  /// Parallelism cap and chunking, forwarded to the sweep executor (see
+  /// SweepOptions::threads / SweepOptions::chunk; the campaign runs on the
+  /// shared pool, never on its own threads).
   unsigned threads = 0;
+  std::size_t chunk = 0;
   /// If non-empty, the per-config summary CSV is written here.
   std::string summary_csv_path;
   /// Collect per-layer counters per point and roll them up into

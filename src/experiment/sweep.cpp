@@ -1,16 +1,33 @@
 #include "experiment/sweep.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <memory>
-#include <thread>
+#include <vector>
 
+#include "core/models/model_set.h"
+#include "core/opt/objectives.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace wsnlink::experiment {
 
 std::uint64_t SweepSeed(std::uint64_t base_seed, std::size_t index) noexcept {
   std::uint64_t sm = base_seed ^ (0x9E3779B97F4A7C15ULL * (index + 1));
   return util::SplitMix64(sm);
+}
+
+std::size_t SweepChunkSize(const SweepOptions& options,
+                           std::size_t total) noexcept {
+  if (options.chunk != 0) return options.chunk;
+  const unsigned pool_width = util::ThreadPool::Shared().WorkerCount() + 1;
+  const unsigned width =
+      options.threads == 0 ? pool_width : std::min(options.threads, pool_width);
+  // ~16 grabs per active worker amortises the cursor; cap so progress
+  // callbacks and stealing stay responsive on big sweeps.
+  const std::size_t chunk = total / (static_cast<std::size_t>(width) * 16);
+  return std::clamp<std::size_t>(chunk, 1, 64);
 }
 
 namespace {
@@ -29,36 +46,117 @@ node::SimulationOptions MakeOptions(const core::StackConfig& config,
   return options;
 }
 
-/// Runs `fn(i)` for every i in [0, total) over a worker pool.
-void ParallelFor(std::size_t total, unsigned threads,
-                 const std::function<void(std::size_t)>& fn) {
-  unsigned workers = threads != 0 ? threads : std::thread::hardware_concurrency();
-  if (workers == 0) workers = 1;
-  if (workers == 1 || total <= 1) {
-    for (std::size_t i = 0; i < total; ++i) fn(i);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&next, total, &fn] {
-      for (std::size_t i = next.fetch_add(1); i < total;
-           i = next.fetch_add(1)) {
-        fn(i);
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
+/// Runs `fn(i)` for every i in [0, total) over the shared pool.
+void SweepParallelFor(std::size_t total, const SweepOptions& options,
+                      const std::function<void(std::size_t)>& fn) {
+  util::ThreadPool::Shared().ParallelFor(total, SweepChunkSize(options, total),
+                                         options.threads, fn);
+}
+
+/// Fills a SweepPoint from a model prediction (prescreened config).
+void FillFromPrediction(SweepPoint& point, const core::StackConfig& config,
+                        const core::models::MetricPrediction& prediction) {
+  point.config = config;
+  point.simulated = false;
+  point.mean_snr_db = prediction.snr_db;
+  point.measured.generated = 0;
+  point.measured.per = prediction.per;
+  point.measured.mean_tries_all = prediction.mean_tries;
+  point.measured.mean_tries_acked = prediction.mean_tries;
+  point.measured.mean_service_ms = prediction.service_time_ms;
+  point.measured.utilization = prediction.utilization;
+  point.measured.goodput_kbps = prediction.max_goodput_kbps;
+  point.measured.energy_uj_per_bit = prediction.energy_uj_per_bit;
+  point.measured.mean_delay_ms = prediction.total_delay_ms;
+  point.measured.plr_radio = prediction.plr_radio;
+  point.measured.plr_queue = prediction.plr_queue;
+  point.measured.plr_total = prediction.plr_total;
+  point.measured.mean_snr_db = prediction.snr_db;
 }
 
 }  // namespace
 
+std::vector<bool> PrescreenMask(const std::vector<core::StackConfig>& configs,
+                                double slack) {
+  using core::opt::Metric;
+  const core::models::ModelSet models;
+  const Metric kObjectives[] = {Metric::kEnergy, Metric::kGoodput,
+                                Metric::kDelay, Metric::kLoss};
+
+  struct Costs {
+    double v[4];
+  };
+  std::vector<Costs> costs(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto prediction = models.Predict(configs[i]);
+    for (std::size_t m = 0; m < 4; ++m) {
+      costs[i].v[m] = core::opt::MetricCost(prediction, kObjectives[m]);
+    }
+  }
+
+  // `a` epsilon-dominates `b` when a is better than b by more than `slack`
+  // (relative, against the cost magnitude) on every objective. The strict
+  // "every objective" form keeps ties and near-ties simulated.
+  const auto dominates = [slack](const Costs& a, const Costs& b) {
+    for (std::size_t m = 0; m < 4; ++m) {
+      const double margin = slack * std::max(std::abs(b.v[m]), 1e-9);
+      if (a.v[m] >= b.v[m] - margin) return false;
+    }
+    return true;
+  };
+
+  // Incremental non-dominated filter: compare each config against the
+  // running front only (the front stays small relative to the sweep), then
+  // prune front members the newcomer dominates.
+  std::vector<bool> keep(configs.size(), true);
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    bool dominated = false;
+    for (const std::size_t f : front) {
+      if (dominates(costs[f], costs[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) {
+      keep[i] = false;
+      continue;
+    }
+    std::erase_if(front, [&](std::size_t f) {
+      if (dominates(costs[i], costs[f])) {
+        keep[f] = false;
+        return true;
+      }
+      return false;
+    });
+    front.push_back(i);
+  }
+  return keep;
+}
+
 std::vector<SweepPoint> RunSweep(const std::vector<core::StackConfig>& configs,
                                  const SweepOptions& options) {
   std::vector<SweepPoint> points(configs.size());
+
+  std::vector<bool> keep;
+  if (options.analytic_prescreen) {
+    keep = PrescreenMask(configs, options.prescreen_slack);
+    const core::models::ModelSet models;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      if (!keep[i]) {
+        FillFromPrediction(points[i], configs[i], models.Predict(configs[i]));
+      }
+    }
+  }
+
   std::atomic<std::size_t> done{0};
-  ParallelFor(configs.size(), options.threads, [&](std::size_t i) {
+  SweepParallelFor(configs.size(), options, [&](std::size_t i) {
+    if (!keep.empty() && !keep[i]) {
+      if (options.progress) {
+        options.progress(done.fetch_add(1) + 1, configs.size());
+      }
+      return;
+    }
     auto sim_options = MakeOptions(configs[i], options, i);
     // Per-run tracer: runs never share observability state, which is what
     // keeps captured traces identical across thread counts.
@@ -86,7 +184,7 @@ std::vector<node::SimulationResult> RunSweepRaw(
     const SweepOptions& options) {
   std::vector<node::SimulationResult> results(configs.size());
   std::atomic<std::size_t> done{0};
-  ParallelFor(configs.size(), options.threads, [&](std::size_t i) {
+  SweepParallelFor(configs.size(), options, [&](std::size_t i) {
     const auto sim_options = MakeOptions(configs[i], options, i);
     results[i] = node::RunLinkSimulation(sim_options);
     if (options.progress) {

@@ -7,6 +7,7 @@ namespace wsnlink::link {
 LinkLayer::LinkLayer(sim::Simulator& simulator, mac::Mac& mac,
                      int queue_capacity)
     : sim_(simulator), mac_(mac), queue_(queue_capacity) {
+  open_records_.reserve(static_cast<std::size_t>(queue_capacity) + 1);
   mac_.SetDeliveryCallback(
       [this](const mac::DeliveryInfo& info) { OnDelivery(info); });
   mac_.SetAttemptCallback([this](const mac::AttemptInfo& info) {
@@ -71,7 +72,7 @@ bool LinkLayer::Accept(std::uint64_t packet_id, int payload_bytes) {
                    0.0});
   }
 
-  open_records_[packet_id] = log_.Packets().size() - 1;
+  open_records_.emplace_back(packet_id, log_.Packets().size() - 1);
   if (!queue_.InService()) ServeNext();
   return true;
 }
@@ -81,11 +82,11 @@ void LinkLayer::ServeNext() {
   const QueuedPacket head = queue_.StartService();
   in_service_id_ = head.id;
 
-  const auto it = open_records_.find(head.id);
-  if (it == open_records_.end()) {
+  const OpenRecord* open = FindOpen(head.id);
+  if (open == nullptr) {
     throw std::logic_error("LinkLayer: serving unknown packet");
   }
-  log_.MutablePacket(it->second).service_start = sim_.Now();
+  log_.MutablePacket(open->second).service_start = sim_.Now();
 
   if (counters_ != nullptr) counters_->Add(id_served_);
   if (tracer_ != nullptr) {
@@ -99,18 +100,20 @@ void LinkLayer::ServeNext() {
 }
 
 void LinkLayer::OnSendDone(const mac::SendResult& result) {
-  const auto it = open_records_.find(result.packet_id);
-  if (it == open_records_.end()) {
+  OpenRecord* open = FindOpen(result.packet_id);
+  if (open == nullptr) {
     throw std::logic_error("LinkLayer: completion for unknown packet");
   }
-  PacketRecord& record = log_.MutablePacket(it->second);
+  PacketRecord& record = log_.MutablePacket(open->second);
   record.completed_at = result.completed_at;
   record.acked = result.acked;
   record.delivered = result.delivered;
   record.tries = result.tries;
   record.tx_energy_uj = result.tx_energy_uj;
   record.listen_time = result.listen_time;
-  open_records_.erase(it);
+  // Swap-erase: lookup is by id, so order within the array is irrelevant.
+  *open = open_records_.back();
+  open_records_.pop_back();
 
   if (counters_ != nullptr) {
     counters_->Add(id_completed_);
@@ -135,9 +138,8 @@ void LinkLayer::OnDelivery(const mac::DeliveryInfo& info) {
                    trace::Layer::kLink, info.packet_id, info.attempt,
                    info.payload_bytes, info.rssi_dbm});
   }
-  const auto it = open_records_.find(info.packet_id);
-  if (it != open_records_.end()) {
-    PacketRecord& record = log_.MutablePacket(it->second);
+  if (const OpenRecord* open = FindOpen(info.packet_id)) {
+    PacketRecord& record = log_.MutablePacket(open->second);
     if (record.first_delivered_at == kNever) {
       record.first_delivered_at = info.received_at;
       record.rssi_dbm = info.rssi_dbm;
@@ -146,6 +148,13 @@ void LinkLayer::OnDelivery(const mac::DeliveryInfo& info) {
     }
   }
   if (on_delivery_) on_delivery_(info);
+}
+
+LinkLayer::OpenRecord* LinkLayer::FindOpen(std::uint64_t packet_id) noexcept {
+  for (OpenRecord& entry : open_records_) {
+    if (entry.first == packet_id) return &entry;
+  }
+  return nullptr;
 }
 
 bool LinkLayer::Idle() const noexcept {

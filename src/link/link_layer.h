@@ -8,7 +8,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "link/packet_log.h"
 #include "link/transmit_queue.h"
@@ -58,8 +59,12 @@ class LinkLayer {
   PacketLog log_;
   DeliveryCallback on_delivery_;
 
-  // Index into log_.Packets() for each unfinished packet id.
-  std::unordered_map<std::uint64_t, std::size_t> open_records_;
+  // Index into log_.Packets() for each unfinished packet id. Live entries
+  // are bounded by the queue capacity (queued + in-service packets), so a
+  // flat array with linear lookup beats a hash map on the packet hot path.
+  using OpenRecord = std::pair<std::uint64_t, std::size_t>;
+  std::vector<OpenRecord> open_records_;
+  [[nodiscard]] OpenRecord* FindOpen(std::uint64_t packet_id) noexcept;
   std::uint64_t in_service_id_ = 0;
 
   // Observability (null = off).

@@ -76,7 +76,7 @@ class PacketLog {
   }
   /// Mutable access for in-flight lifecycle updates. Requires index valid.
   [[nodiscard]] PacketRecord& MutablePacket(std::size_t index) {
-    return packets_.at(index);
+    return packets_[index];
   }
   [[nodiscard]] const std::vector<AttemptRecord>& Attempts() const noexcept {
     return attempts_;

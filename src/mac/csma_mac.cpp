@@ -64,8 +64,126 @@ void CsmaMac::Send(std::uint64_t packet_id, int payload_bytes,
   if (counters_ != nullptr) counters_->Add(id_sends_);
   EmitRadioState(trace::RadioState::kListen);
 
+  if (tracer_ == nullptr) {
+    RunPacketFast();
+    return;
+  }
   // One-time SPI load of the frame into the radio's TX FIFO.
   sim_.Schedule(phy::SpiLoadTime(payload_bytes_), [this] { StartAttempt(); });
+}
+
+void CsmaMac::RunPacketFast() {
+  // Mirrors the Send -> StartAttempt -> DoCca -> TransmitFrame ->
+  // FinishAttempt event chain step for step: every RNG draw and every
+  // channel query happens in the same order with the same timestamp the
+  // chained events would have used, so the results (and all derived
+  // metrics) are bit-identical. Only the MAC touches the channel and the
+  // MAC is strictly sequential, so no other actor can interleave channel
+  // state between the collapsed steps.
+  const double tx_dbm = phy::OutputPowerDbm(params_.pa_level);
+  sim::Time t = sim_.Now() + phy::SpiLoadTime(payload_bytes_);
+  for (;;) {
+    // StartAttempt: random initial backoff.
+    const auto backoff = static_cast<sim::Duration>(
+        rng_.UniformInt(0, phy::kInitialBackoffMax));
+    listen_time_ += backoff;
+    t += backoff;
+
+    // DoCca ladder.
+    int cca_retries_left = kMaxCcaRetries;
+    bool ebusy = false;
+    for (;;) {
+      if (!channel_.CcaBusy(t)) {
+        listen_time_ += phy::kTurnaroundTime;
+        t += phy::kTurnaroundTime;
+        break;
+      }
+      ++cca_busy_;
+      if (counters_ != nullptr) counters_->Add(id_cca_busy_);
+      if (cca_retries_left <= 0) {
+        // Persistent interference: attempt consumed without transmission.
+        ++tries_done_;
+        ebusy = true;
+        break;
+      }
+      --cca_retries_left;
+      const auto congestion = static_cast<sim::Duration>(
+          rng_.UniformInt(0, phy::kCongestionBackoffMax));
+      listen_time_ += congestion;
+      t += congestion;
+    }
+
+    bool finish_acked = false;
+    if (!ebusy) {
+      // TransmitFrame + the post-airtime outcome handling.
+      ++tries_done_;
+      tx_energy_uj_ += phy::EnergyPerBitMicrojoule(params_.pa_level) * 8.0 *
+                       static_cast<double>(frame_bytes_);
+      if (counters_ != nullptr) {
+        counters_->Add(id_tx_attempts_);
+        counters_->Add(id_bytes_radiated_,
+                       static_cast<std::uint64_t>(frame_bytes_));
+      }
+      const int attempt = tries_done_;
+      t += phy::AirTime(frame_bytes_);
+      const auto outcome = channel_.Transmit(tx_dbm, frame_bytes_, t);
+
+      AttemptInfo attempt_info;
+      attempt_info.packet_id = packet_id_;
+      attempt_info.attempt = attempt;
+      attempt_info.payload_bytes = payload_bytes_;
+      attempt_info.at = t;
+      attempt_info.rssi_dbm = outcome.rssi_dbm;
+      attempt_info.snr_db = outcome.snr_db;
+      attempt_info.data_received = outcome.received;
+
+      if (!outcome.received) {
+        if (on_attempt_) on_attempt_(attempt_info);
+        listen_time_ += phy::kAckWaitTimeout;
+        t += phy::kAckWaitTimeout;
+      } else {
+        delivered_any_ = true;
+        if (counters_ != nullptr) counters_->Add(id_frames_decoded_);
+        if (on_delivery_) {
+          DeliveryInfo info;
+          info.packet_id = packet_id_;
+          info.payload_bytes = payload_bytes_;
+          info.received_at = t;
+          info.rssi_dbm = outcome.rssi_dbm;
+          info.snr_db = outcome.snr_db;
+          info.lqi = outcome.lqi;
+          info.attempt = attempt;
+          on_delivery_(info);
+        }
+        const auto ack =
+            channel_.Transmit(tx_dbm, phy::kAckFrameBytes, t);
+        attempt_info.acked = ack.received;
+        if (counters_ != nullptr && ack.received) {
+          counters_->Add(id_acks_received_);
+        }
+        if (on_attempt_) on_attempt_(attempt_info);
+        if (ack.received) {
+          listen_time_ += phy::kAckTime;
+          t += phy::kAckTime;
+          finish_acked = true;
+        } else {
+          listen_time_ += phy::kAckWaitTimeout;
+          t += phy::kAckWaitTimeout;
+        }
+      }
+    }
+
+    // FinishAttempt, evaluated at time t.
+    if (finish_acked) {
+      acked_ = true;
+      break;
+    }
+    if (tries_done_ >= params_.max_tries) break;
+    t += params_.retry_delay;
+  }
+  // Only the completion is a real event: the done callback serves the next
+  // queued packet, so it must run at the packet's true completion time.
+  sim_.Schedule(t - sim_.Now(), [this] { Complete(); });
 }
 
 void CsmaMac::StartAttempt() {

@@ -65,6 +65,13 @@ class CsmaMac final : public Mac {
   void TransmitFrame();
   void FinishAttempt(bool acked);
   void Complete();
+  /// Untraced fast path: computes the packet's whole CSMA attempt ladder
+  /// synchronously (every channel/RNG call with the same explicit
+  /// timestamps, in the same order, as the event-per-hop path) and
+  /// schedules only the final completion event. Bit-identical results;
+  /// used only when no tracer is attached, because collapsed execution
+  /// would emit trace events out of ring order.
+  void RunPacketFast();
   void EmitRadioState(trace::RadioState state);
 
   sim::Simulator& sim_;

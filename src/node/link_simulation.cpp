@@ -77,8 +77,15 @@ SimulationResult RunLinkSimulation(const SimulationOptions& options) {
   }
 
   link::LinkLayer link(simulator, *mac, options.config.queue_capacity);
+  // The run's log sizes are known up front: one record per generated packet
+  // and at most max_tries attempts each. Reserving avoids mid-run regrowth.
+  link.MutableLog().Reserve(
+      static_cast<std::size_t>(options.packet_count),
+      static_cast<std::size_t>(options.packet_count) *
+          static_cast<std::size_t>(options.config.max_tries));
 
   app::PacketSink sink;
+  sink.Reserve(static_cast<std::size_t>(options.packet_count));
   link.SetDeliveryCallback(
       [&sink](const mac::DeliveryInfo& info) { sink.OnDelivery(info); });
 

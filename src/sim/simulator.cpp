@@ -6,11 +6,11 @@
 namespace wsnlink::sim {
 
 void EventHandle::Cancel() noexcept {
-  if (state_) state_->cancelled = true;
+  if (sim_ != nullptr) sim_->CancelSlot(slot_, ticket_);
 }
 
 bool EventHandle::Pending() const noexcept {
-  return state_ && !state_->cancelled && !state_->fired;
+  return sim_ != nullptr && sim_->SlotPending(slot_, ticket_);
 }
 
 void Simulator::AttachTrace(const trace::TraceContext& ctx) {
@@ -22,49 +22,116 @@ void Simulator::AttachTrace(const trace::TraceContext& ctx) {
   }
 }
 
-EventHandle Simulator::Schedule(Duration delay, std::function<void()> fn) {
+std::uint32_t Simulator::AcquireSlot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::ReleaseSlot(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  s.fn.Reset();
+  ++s.generation;  // invalidates outstanding handles
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Simulator::SiftUp(std::uint32_t pos) noexcept {
+  const HeapEntry entry = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 2;
+    if (!Before(entry, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos].slot].heap_pos = pos;
+    pos = parent;
+  }
+  heap_[pos] = entry;
+  slots_[entry.slot].heap_pos = pos;
+}
+
+void Simulator::SiftDown(std::uint32_t pos) noexcept {
+  const HeapEntry entry = heap_[pos];
+  const auto size = static_cast<std::uint32_t>(heap_.size());
+  while (true) {
+    std::uint32_t child = 2 * pos + 1;
+    if (child >= size) break;
+    if (child + 1 < size && Before(heap_[child + 1], heap_[child])) ++child;
+    if (!Before(heap_[child], entry)) break;
+    heap_[pos] = heap_[child];
+    slots_[heap_[pos].slot].heap_pos = pos;
+    pos = child;
+  }
+  heap_[pos] = entry;
+  slots_[entry.slot].heap_pos = pos;
+}
+
+void Simulator::HeapRemove(std::uint32_t pos) noexcept {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail entry
+  heap_[pos] = last;
+  slots_[last.slot].heap_pos = pos;
+  // The replacement may need to move either way relative to its new
+  // neighbourhood.
+  if (pos > 0 && Before(last, heap_[(pos - 1) / 2])) {
+    SiftUp(pos);
+  } else {
+    SiftDown(pos);
+  }
+}
+
+void Simulator::CancelSlot(std::uint32_t slot, std::uint64_t ticket) noexcept {
+  if (!SlotPending(slot, ticket)) return;
+  HeapRemove(slots_[slot].heap_pos);
+  ReleaseSlot(slot);
+  if (counters_ != nullptr) counters_->Add(id_cancelled_);
+}
+
+bool Simulator::SlotPending(std::uint32_t slot,
+                            std::uint64_t ticket) const noexcept {
+  return slot < slots_.size() && slots_[slot].generation == ticket;
+}
+
+EventHandle Simulator::Schedule(Duration delay, EventFn fn) {
   if (delay < 0) throw std::invalid_argument("Simulator::Schedule: negative delay");
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
-EventHandle Simulator::ScheduleAt(Time at, std::function<void()> fn) {
+EventHandle Simulator::ScheduleAt(Time at, EventFn fn) {
   if (at < now_) throw std::invalid_argument("Simulator::ScheduleAt: time in the past");
   if (!fn) throw std::invalid_argument("Simulator::ScheduleAt: empty callback");
-  auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Entry{at, next_seq_++, std::move(fn), state});
+  const std::uint32_t slot = AcquireSlot();
+  Slot& s = slots_[slot];
+  s.at = at;
+  s.fn = std::move(fn);
+  heap_.push_back(HeapEntry{at, next_seq_++, slot});
+  SiftUp(static_cast<std::uint32_t>(heap_.size() - 1));
   if (counters_ != nullptr) counters_->Add(id_scheduled_);
-  return EventHandle(std::move(state));
+  return EventHandle(this, slot, s.generation);
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; the entry must be copied out before pop.
-    Entry entry = queue_.top();
-    queue_.pop();
-    if (entry.state->cancelled) {
-      if (counters_ != nullptr) counters_->Add(id_cancelled_);
-      continue;
-    }
-    now_ = entry.at;
-    entry.state->fired = true;
-    ++executed_;
-    if (counters_ != nullptr) counters_->Add(id_executed_);
-    entry.fn();
-    return true;
-  }
-  return false;
+  if (heap_.empty()) return false;
+  const std::uint32_t slot = heap_[0].slot;
+  HeapRemove(0);
+  now_ = slots_[slot].at;
+  // Move the callback out and recycle the slot *before* invoking: the
+  // callback will typically schedule follow-up events that reuse it.
+  EventFn fn = std::move(slots_[slot].fn);
+  ReleaseSlot(slot);
+  ++executed_;
+  if (counters_ != nullptr) counters_->Add(id_executed_);
+  fn();
+  return true;
 }
 
 std::size_t Simulator::RunUntil(Time until) {
   std::size_t count = 0;
-  while (!queue_.empty()) {
-    // Skip cancelled heads without advancing the clock.
-    if (queue_.top().state->cancelled) {
-      queue_.pop();
-      if (counters_ != nullptr) counters_->Add(id_cancelled_);
-      continue;
-    }
-    if (queue_.top().at > until) break;
+  while (!heap_.empty() && heap_[0].at <= until) {
     if (Step()) ++count;
   }
   if (now_ < until) now_ = until;

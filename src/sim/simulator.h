@@ -1,34 +1,46 @@
 // Discrete-event simulation kernel.
 //
-// A single-threaded event loop over a binary heap keyed by (time, sequence).
-// The sequence number makes scheduling FIFO-stable for events at the same
-// timestamp, which keeps traces deterministic. Events are type-erased
-// callbacks; cancellation is supported through handles (a cancelled event
-// stays in the heap but is skipped when popped — cheap and sufficient for
-// the MAC's ACK-timeout pattern).
+// A single-threaded event loop over an *indexed* binary heap keyed by
+// (time, sequence). The sequence number makes scheduling FIFO-stable for
+// events at the same timestamp, which keeps traces deterministic.
+//
+// Event storage is pooled: each scheduled event lives in a reusable slot of
+// a per-simulator slab (no per-event heap allocation), its callback in
+// inline small-buffer storage (see event_fn.h). The heap is an array of
+// slot indices and every slot knows its heap position, so cancellation is a
+// true O(log n) removal instead of a tombstone that poisons the queue until
+// popped — and, more importantly for the campaign hot path, scheduling an
+// event costs zero allocations in steady state.
+//
+// The rework is observationally identical to the previous tombstone kernel:
+// events execute in the same (time, seq) order, a cancelled event never
+// runs, and the "sim.events_cancelled" counter totals match at run end
+// (cancellations are now counted when Cancel() lands instead of when the
+// tombstone would have been popped).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/event_fn.h"
 #include "sim/time.h"
 #include "trace/trace.h"
 
 namespace wsnlink::sim {
 
+class Simulator;
+
 /// Cancellation handle for a scheduled event.
 ///
 /// Copyable; all copies refer to the same scheduled event. A default-
 /// constructed handle refers to nothing and Cancel() on it is a no-op.
+/// A handle must not outlive the simulator that issued it.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Marks the event as cancelled. Safe to call multiple times, and safe to
-  /// call after the event has fired (no effect).
+  /// Removes the event from the queue if it has not fired yet. Safe to call
+  /// multiple times, and safe to call after the event has fired (no effect).
   void Cancel() noexcept;
 
   /// True if the event is still scheduled to fire.
@@ -36,12 +48,14 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint64_t ticket)
+      : sim_(sim), slot_(slot), ticket_(ticket) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  // Generation stamp of the slot at scheduling time; a stale ticket means
+  // the event already fired (or was cancelled) and the slot was recycled.
+  std::uint64_t ticket_ = 0;
 };
 
 /// The event loop.
@@ -56,10 +70,10 @@ class Simulator {
 
   /// Schedules `fn` to run at `Now() + delay`. Requires delay >= 0.
   /// Returns a handle that can cancel the event before it fires.
-  EventHandle Schedule(Duration delay, std::function<void()> fn);
+  EventHandle Schedule(Duration delay, EventFn fn);
 
   /// Schedules `fn` at an absolute time. Requires at >= Now().
-  EventHandle ScheduleAt(Time at, std::function<void()> fn);
+  EventHandle ScheduleAt(Time at, EventFn fn);
 
   /// Runs events until the queue empties or the clock would pass `until`.
   /// Events scheduled exactly at `until` are executed. Returns the number of
@@ -72,8 +86,8 @@ class Simulator {
   /// Executes at most one event; returns false if the queue is empty.
   bool Step();
 
-  /// Number of events currently queued (including cancelled-but-unpopped).
-  [[nodiscard]] std::size_t QueueSize() const noexcept { return queue_.size(); }
+  /// Number of events currently queued (cancelled events leave immediately).
+  [[nodiscard]] std::size_t QueueSize() const noexcept { return heap_.size(); }
 
   /// Total number of events executed so far (excludes cancelled ones).
   [[nodiscard]] std::uint64_t EventsExecuted() const noexcept { return executed_; }
@@ -85,23 +99,48 @@ class Simulator {
   void AttachTrace(const trace::TraceContext& ctx);
 
  private:
-  struct Entry {
+  friend class EventHandle;
+
+  struct Slot {
+    Time at = 0;
+    // Bumped every time the slot is released; EventHandle tickets compare
+    // against it so stale handles are inert.
+    std::uint64_t generation = 0;
+    std::uint32_t heap_pos = 0;
+    std::uint32_t next_free = kNoSlot;
+    EventFn fn;
+  };
+
+  // Heap entries carry the (time, seq) sort key inline so sift comparisons
+  // stay within the heap array instead of chasing slot indirections.
+  struct HeapEntry {
     Time at;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<EventHandle::State> state;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+
+  static constexpr std::uint32_t kNoSlot = ~0u;
+
+  static bool Before(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t AcquireSlot();
+  void ReleaseSlot(std::uint32_t slot) noexcept;
+  void SiftUp(std::uint32_t pos) noexcept;
+  void SiftDown(std::uint32_t pos) noexcept;
+  void HeapRemove(std::uint32_t pos) noexcept;
+  void CancelSlot(std::uint32_t slot, std::uint64_t ticket) noexcept;
+  [[nodiscard]] bool SlotPending(std::uint32_t slot,
+                                 std::uint64_t ticket) const noexcept;
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<Slot> slots_;      // event pool (grows to peak queue depth)
+  std::vector<HeapEntry> heap_;  // binary heap over (time, seq)
+  std::uint32_t free_head_ = kNoSlot;
 
   trace::CounterRegistry* counters_ = nullptr;
   trace::CounterRegistry::Id id_scheduled_ = 0;

@@ -4,17 +4,17 @@
 
 namespace wsnlink::trace {
 
-CounterRegistry::Id CounterRegistry::Register(const std::string& name) {
+CounterRegistry::Id CounterRegistry::Register(std::string_view name) {
   const auto it = index_.find(name);
   if (it != index_.end()) return it->second;
   const Id id = names_.size();
-  names_.push_back(name);
+  names_.emplace_back(name);
   values_.push_back(0);
-  index_.emplace(name, id);
+  index_.emplace(names_.back(), id);
   return id;
 }
 
-std::uint64_t CounterRegistry::Value(const std::string& name) const noexcept {
+std::uint64_t CounterRegistry::Value(std::string_view name) const noexcept {
   const auto it = index_.find(name);
   return it == index_.end() ? 0 : values_[it->second];
 }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace wsnlink::trace {
@@ -30,14 +31,16 @@ class CounterRegistry {
   using Id = std::size_t;
 
   /// Returns the id for `name`, creating the counter (at zero) on first
-  /// use. Registering the same name again returns the same id.
-  Id Register(const std::string& name);
+  /// use. Registering the same name again returns the same id. Takes a
+  /// view (with a transparent index) so registering literals each run
+  /// allocates nothing once the name exists.
+  Id Register(std::string_view name);
 
   /// Adds `delta` to a registered counter. Requires a valid id.
   void Add(Id id, std::uint64_t delta = 1) noexcept { values_[id] += delta; }
 
   /// Current value by name; 0 for unregistered names.
-  [[nodiscard]] std::uint64_t Value(const std::string& name) const noexcept;
+  [[nodiscard]] std::uint64_t Value(std::string_view name) const noexcept;
 
   /// Number of registered counters.
   [[nodiscard]] std::size_t Size() const noexcept { return names_.size(); }
@@ -48,7 +51,7 @@ class CounterRegistry {
  private:
   std::vector<std::string> names_;   // by id
   std::vector<std::uint64_t> values_;  // by id
-  std::map<std::string, Id> index_;
+  std::map<std::string, Id, std::less<>> index_;
 };
 
 /// Sums counter snapshots by name (the per-campaign roll-up of per-run

@@ -20,7 +20,17 @@ Args::Args(int argc, const char* const* argv,
     if (i + 1 >= argc) {
       throw std::invalid_argument("missing value for " + arg);
     }
-    values_[arg] = argv[++i];
+    const std::string value = argv[i + 1];
+    if (value.rfind("--", 0) == 0) {
+      // `--flag --other` means --flag's value is missing, not that the
+      // next flag is its value.
+      throw std::invalid_argument("missing value for " + arg);
+    }
+    if (values_.count(arg) != 0) {
+      throw std::invalid_argument("duplicate flag " + arg);
+    }
+    values_[arg] = value;
+    ++i;
   }
 }
 
@@ -65,6 +75,10 @@ int Args::GetInt(const std::string& flag, int fallback) const {
 std::size_t Args::GetSize(const std::string& flag, std::size_t fallback) const {
   const auto value = Get(flag);
   if (!value) return fallback;
+  if (!value->empty() && value->front() == '-') {
+    // stoull would silently wrap a negative value around to a huge size.
+    throw std::invalid_argument("bad size value for " + flag + ": " + *value);
+  }
   std::size_t consumed = 0;
   const unsigned long long parsed = std::stoull(*value, &consumed);
   if (consumed != value->size()) {

@@ -1,12 +1,14 @@
 #include "util/csv.h"
 
+#include <algorithm>
 #include <charconv>
 #include <stdexcept>
 
 namespace wsnlink::util {
 
 std::string EscapeCsvCell(std::string_view cell) {
-  const bool needs_quote = cell.find_first_of(",\"\n") != std::string_view::npos;
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
   if (!needs_quote) return std::string(cell);
   std::string out = "\"";
   for (const char ch : cell) {
@@ -33,6 +35,13 @@ void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
 }
 
 void CsvWriter::WriteCells(const std::vector<std::string>& cells) {
+  // A lone empty cell would serialise to an empty line, which CSV readers
+  // (this one included) drop as a blank; quote it so the row survives a
+  // round trip.
+  if (cells.size() == 1 && cells[0].empty()) {
+    out_ << "\"\"\n";
+    return;
+  }
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i) out_ << ',';
     out_ << EscapeCsvCell(cells[i]);
@@ -70,15 +79,45 @@ std::vector<std::string> ParseCsvLine(std::string_view line) {
   return cells;
 }
 
+namespace {
+
+/// Reads one logical CSV record: physical lines are joined (with the '\n'
+/// they were split on) while an unclosed quote is open, and any trailing
+/// '\r' from CRLF files is stripped per physical line. Returns false at
+/// end of input; throws if the input ends inside a quoted cell.
+bool ReadCsvRecord(std::istream& in, std::string& record) {
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  record.clear();
+  for (;;) {
+    const bool had_cr = !line.empty() && line.back() == '\r';
+    if (had_cr) line.pop_back();
+    record += line;
+    // An even number of quote characters means every quoted cell in the
+    // record is closed (escaped "" quotes contribute two), so the line
+    // break really terminated the record and any CR was CRLF framing.
+    if (std::count(record.begin(), record.end(), '"') % 2 == 0) return true;
+    // Otherwise the break is *content* of an open quoted cell — put the
+    // CR back before joining with the newline it was split on.
+    if (had_cr) record += '\r';
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("ReadCsv: unterminated quoted cell");
+    }
+    record += '\n';
+  }
+}
+
+}  // namespace
+
 CsvData ReadCsv(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("ReadCsv: cannot open " + path);
   CsvData data;
-  std::string line;
-  if (std::getline(in, line)) data.headers = ParseCsvLine(line);
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    data.rows.push_back(ParseCsvLine(line));
+  std::string record;
+  if (ReadCsvRecord(in, record)) data.headers = ParseCsvLine(record);
+  while (ReadCsvRecord(in, record)) {
+    if (record.empty()) continue;
+    data.rows.push_back(ParseCsvLine(record));
   }
   return data;
 }

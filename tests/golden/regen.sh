@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Regenerates tests/golden/campaign_summary.csv after an *intentional*
+# behaviour change (channel calibration, MAC timing, metric definitions).
+#
+# The file is byte-compared by Golden.CampaignSummaryCsvMatchesCheckedInFile,
+# so never refresh it to silence a failing test without understanding why
+# the numbers moved — review the diff like any other calibration change.
+#
+# The workload mirrors GoldenCampaignOptions() in tests/golden_test.cpp:
+# an 8-configuration stride through the 48,384-point Table I space
+# (48384 / 8 + 1 = 6049), 60 packets each, base seed 20150629. The thread
+# count does not affect the output (the determinism suite pins that), so
+# any worker count regenerates the same bytes.
+#
+# Usage:  tests/golden/regen.sh   [BUILD_DIR=/path/to/build]
+set -eu
+
+ROOT=$(CDPATH='' cd -- "$(dirname -- "$0")/../.." && pwd)
+BUILD=${BUILD_DIR:-"$ROOT/build"}
+GOLDEN="$ROOT/tests/golden/campaign_summary.csv"
+
+if [ ! -d "$BUILD" ]; then
+  echo "regen.sh: build directory $BUILD not found (set BUILD_DIR)" >&2
+  exit 2
+fi
+
+cmake --build "$BUILD" --target run_campaign
+"$BUILD/examples/run_campaign" \
+  --stride 6049 --packets 60 --seed 20150629 --threads 2 \
+  --out "$GOLDEN"
+
+echo
+git -C "$ROOT" --no-pager diff --stat -- "$GOLDEN" || true
+echo "regen.sh: wrote $GOLDEN — review the diff, then commit deliberately."
