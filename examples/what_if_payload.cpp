@@ -17,6 +17,7 @@
 #include "experiment/dataset.h"
 #include "metrics/what_if.h"
 #include "node/link_simulation.h"
+#include "util/args.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -31,7 +32,17 @@ int main(int argc, char** argv) {
       std::cerr << "cannot read " << argv[1] << ": " << e.what() << "\n";
       return 1;
     }
-    if (argc >= 3) max_tries = std::atoi(argv[2]);
+    if (argc >= 3) {
+      try {
+        // atoi would silently turn garbage ("abc", "0", "-3") into a
+        // nonsensical retry budget; reject anything that is not >= 1.
+        max_tries = util::ParsePositiveInt(argv[2], "max_tries");
+      } catch (const std::exception& e) {
+        std::cerr << e.what()
+                  << "\nusage: what_if_payload <attempts.csv> [max_tries]\n";
+        return 2;
+      }
+    }
     std::cout << "trace: " << trace.size() << " attempts from " << argv[1]
               << "\n\n";
   } else {

@@ -1,14 +1,35 @@
 #include "experiment/campaign.h"
 
+#include <atomic>
+#include <filesystem>
+#include <mutex>
 #include <stdexcept>
 
+#include "experiment/checkpoint.h"
 #include "experiment/dataset.h"
+#include "util/csv.h"
 
 namespace wsnlink::experiment {
+
+namespace {
+
+/// Mutable bookkeeping for one configuration slot: what the checkpoint
+/// will record and what the final CSV will emit.
+struct RowSlot {
+  bool done = false;
+  bool failed = false;
+  std::string error;
+  std::string csv_row;
+};
+
+}  // namespace
 
 CampaignResult RunCampaign(const CampaignOptions& options) {
   if (options.stride < 1) {
     throw std::invalid_argument("RunCampaign: stride must be >= 1");
+  }
+  if (options.checkpoint_every < 1) {
+    throw std::invalid_argument("RunCampaign: checkpoint_every must be >= 1");
   }
   options.space.Validate();
 
@@ -19,6 +40,78 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
     configs.push_back(options.space.At(i));
   }
 
+  CheckpointMeta meta;
+  meta.base_seed = options.base_seed;
+  meta.packet_count = options.packet_count;
+  meta.stride = options.stride;
+  meta.space_size = size;
+  meta.config_count = configs.size();
+
+  // Restore completed work from a previous (interrupted) run.
+  std::vector<RowSlot> slots(configs.size());
+  std::vector<bool> skip;
+  std::size_t restored = 0;
+  if (options.resume && !options.checkpoint_path.empty() &&
+      std::filesystem::exists(options.checkpoint_path)) {
+    const Checkpoint loaded = ReadCheckpoint(options.checkpoint_path);
+    if (!(loaded.meta == meta)) {
+      throw CheckpointError(
+          "checkpoint: " + options.checkpoint_path +
+          " was taken under a different campaign contract (seed " +
+          std::to_string(loaded.meta.base_seed) + "/" +
+          std::to_string(meta.base_seed) + ", packets " +
+          std::to_string(loaded.meta.packet_count) + "/" +
+          std::to_string(meta.packet_count) + ", stride " +
+          std::to_string(loaded.meta.stride) + "/" +
+          std::to_string(meta.stride) + ", configs " +
+          std::to_string(loaded.meta.config_count) + "/" +
+          std::to_string(meta.config_count) +
+          ") — resumed rows would not be reproducible");
+    }
+    skip.assign(configs.size(), false);
+    for (const auto& row : loaded.rows) {
+      RowSlot& slot = slots[row.index];
+      if (!slot.done) ++restored;
+      slot.done = true;
+      slot.failed = row.failed;
+      slot.error = row.error;
+      slot.csv_row = row.csv_row;
+      skip[row.index] = true;
+    }
+  }
+
+  // Checkpoint writer shared by the worker-side completion hook. All of
+  // the mutable state below is guarded by `mutex`; the sweep guarantees
+  // on_point fires at most once per index.
+  std::mutex mutex;
+  std::size_t completed_new = 0;
+  std::size_t since_checkpoint = 0;
+  std::string checkpoint_error;
+  std::atomic<bool> cancelled{false};
+
+  const auto write_checkpoint_locked = [&]() {
+    Checkpoint checkpoint;
+    checkpoint.meta = meta;
+    checkpoint.rows.reserve(restored + completed_new);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (!slots[i].done) continue;
+      CheckpointRow row;
+      row.index = i;
+      row.failed = slots[i].failed;
+      row.error = slots[i].error;
+      row.csv_row = slots[i].csv_row;
+      checkpoint.rows.push_back(std::move(row));
+    }
+    try {
+      WriteCheckpoint(options.checkpoint_path, checkpoint);
+    } catch (const std::exception& e) {
+      // Graceful degradation: the campaign outlives a failed checkpoint
+      // write (the previous checkpoint file is still intact thanks to the
+      // tmp+rename protocol); record the failure and retry next interval.
+      if (checkpoint_error.empty()) checkpoint_error = e.what();
+    }
+  };
+
   SweepOptions sweep;
   sweep.base_seed = options.base_seed;
   sweep.packet_count = options.packet_count;
@@ -27,22 +120,91 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   sweep.collect_counters = options.collect_counters;
   sweep.capture_traces = options.capture_traces;
   sweep.progress = options.progress;
+  sweep.skip = skip;
+  if (options.max_configs > 0) {
+    sweep.cancel = [&cancelled]() {
+      return cancelled.load(std::memory_order_relaxed);
+    };
+  }
+  sweep.on_point = [&](std::size_t index, const SweepPoint& point) {
+    std::lock_guard<std::mutex> lock(mutex);
+    RowSlot& slot = slots[index];
+    slot.done = true;
+    slot.failed = point.failed;
+    slot.error = point.error;
+    slot.csv_row = SerializeSummaryRow(point);
+    ++completed_new;
+    if (options.max_configs > 0 && completed_new >= options.max_configs) {
+      cancelled.store(true, std::memory_order_relaxed);
+    }
+    if (!options.checkpoint_path.empty() &&
+        ++since_checkpoint >= options.checkpoint_every) {
+      since_checkpoint = 0;
+      write_checkpoint_locked();
+    }
+  };
 
   CampaignResult result;
   result.points = RunSweep(configs, sweep);
+
+  // Fill resumed slots back into the in-memory points (verbatim rows stay
+  // authoritative for the CSV; the parsed form serves in-process callers).
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (skip.empty() || !skip[i]) continue;
+    SweepPoint point = ParseSummaryRow(slots[i].csv_row);
+    point.failed = slots[i].failed;
+    point.error = slots[i].error;
+    result.points[i] = std::move(point);
+  }
+
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  for (const auto& slot : slots) {
+    if (slot.done) ++done;
+    if (slot.done && slot.failed) ++failed;
+  }
+
   result.configurations = result.points.size();
-  result.total_packets = static_cast<std::uint64_t>(options.packet_count) *
-                         result.configurations;
+  result.configs_failed = failed;
+  result.configs_resumed = restored;
+  result.complete = done == configs.size();
+  result.total_packets =
+      static_cast<std::uint64_t>(options.packet_count) * done;
+
+  // Final checkpoint: an interrupted run persists the tail that the last
+  // interval missed; a complete run records everything (so re-running with
+  // --resume just re-emits the CSV).
+  if (!options.checkpoint_path.empty()) {
+    std::lock_guard<std::mutex> lock(mutex);
+    write_checkpoint_locked();
+  }
+  result.checkpoint_write_error = checkpoint_error;
 
   if (options.collect_counters) {
     std::vector<std::vector<trace::CounterSample>> snapshots;
     snapshots.reserve(result.points.size());
     for (const auto& point : result.points) snapshots.push_back(point.counters);
     result.counters = trace::MergeCounters(snapshots);
+    trace::AddSample(result.counters, "campaign.configs_failed",
+                     static_cast<std::uint64_t>(failed));
   }
 
-  if (!options.summary_csv_path.empty()) {
-    WriteSummaryCsv(options.summary_csv_path, result.points);
+  if (result.complete && !options.summary_csv_path.empty()) {
+    std::vector<std::string> rows;
+    rows.reserve(slots.size());
+    for (const auto& slot : slots) rows.push_back(slot.csv_row);
+    WriteSummaryCsvRows(options.summary_csv_path, rows);
+
+    if (failed > 0) {
+      util::CsvWriter errors(options.summary_csv_path + ".errors.csv",
+                             {"config_index", "error"});
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i].failed) {
+          errors.WriteRow({std::to_string(i), slots[i].error});
+        }
+      }
+      errors.Close();
+    }
   }
   return result;
 }

@@ -40,6 +40,28 @@ struct CampaignOptions {
   bool capture_traces = false;
   /// Progress callback forwarded to the sweep (may be empty).
   std::function<void(std::size_t, std::size_t)> progress;
+
+  // -- Crash safety (docs/ROBUSTNESS.md) ---------------------------------
+  /// When non-empty, a checkpoint recording every completed configuration
+  /// (its verbatim summary-CSV row and failure status) is rewritten here —
+  /// atomically, tmp + rename — every `checkpoint_every` completions and
+  /// once more when the run ends.
+  std::string checkpoint_path;
+  /// Completed configurations between checkpoint writes (>= 1).
+  std::size_t checkpoint_every = 64;
+  /// Resume from `checkpoint_path` if the file exists: checkpointed
+  /// configurations are restored verbatim (never re-simulated, never
+  /// re-formatted) and only the remainder runs. The checkpoint's seed
+  /// contract (base_seed, packet_count, stride, space size) must match
+  /// this options struct or RunCampaign throws CheckpointError. With no
+  /// checkpoint file present, resume behaves like a fresh run.
+  bool resume = false;
+  /// Stop cleanly after ~N newly completed configurations (0 = no cap):
+  /// the checkpoint is written and the partial result returned with
+  /// `complete == false` and no summary CSV. Models budgeted or
+  /// interruptible runs; "~" because in-flight workers finish their
+  /// current config. Requires checkpoint_path to be useful.
+  std::size_t max_configs = 0;
 };
 
 /// Campaign outcome.
@@ -50,8 +72,24 @@ struct CampaignResult {
   /// Total packets generated across the sweep.
   std::uint64_t total_packets = 0;
   /// Campaign-wide counter roll-up: the per-point snapshots summed by
-  /// name (empty when collect_counters is false).
+  /// name (empty when collect_counters is false). Always carries a
+  /// "campaign.configs_failed" sample; restored (resumed) points
+  /// contribute no per-layer counters — the roll-up covers this process's
+  /// simulated work.
   std::vector<trace::CounterSample> counters;
+  /// Configurations whose worker threw (their points carry failed/error;
+  /// the summary CSV gets a zeroed metrics row and <summary>.errors.csv
+  /// the structured error records).
+  std::size_t configs_failed = 0;
+  /// Configurations restored from the checkpoint instead of simulated.
+  std::size_t configs_resumed = 0;
+  /// False when the run stopped early (max_configs budget): no summary
+  /// CSV was written; resume from the checkpoint to continue.
+  bool complete = true;
+  /// First checkpoint-write failure, if any (the campaign degrades
+  /// gracefully: a failed write never aborts the run — the previous
+  /// checkpoint stays valid and the next interval retries).
+  std::string checkpoint_write_error;
 };
 
 /// Runs the campaign. Deterministic in options.

@@ -1,6 +1,11 @@
 #include "experiment/dataset.h"
 
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+
 #include "util/csv.h"
+#include "util/fault_injection.h"
 #include "util/table.h"
 
 namespace wsnlink::experiment {
@@ -8,6 +13,17 @@ namespace wsnlink::experiment {
 namespace {
 
 std::string Fmt(double v) { return util::FormatDouble(v, 6); }
+
+double CellToDouble(const std::string& cell) {
+  double v{};
+  const auto [ptr, ec] =
+      std::from_chars(cell.data(), cell.data() + cell.size(), v);
+  if (ec != std::errc() || ptr != cell.data() + cell.size()) {
+    throw std::runtime_error("ParseSummaryRow: non-numeric cell '" + cell +
+                             "'");
+  }
+  return v;
+}
 
 }  // namespace
 
@@ -40,6 +56,7 @@ void WritePacketLogCsv(const std::string& path, const link::PacketLog& log) {
         std::to_string(p.lqi),
     });
   }
+  writer.Close();
 }
 
 std::vector<std::string> AttemptCsvHeaders() {
@@ -61,6 +78,7 @@ void WriteAttemptLogCsv(const std::string& path, const link::PacketLog& log) {
         a.acked ? "1" : "0",
     });
   }
+  writer.Close();
 }
 
 std::vector<link::AttemptRecord> ReadAttemptLogCsv(const std::string& path) {
@@ -96,35 +114,109 @@ std::vector<std::string> SummaryCsvHeaders() {
           "plr_total",    "utilization",   "generated",     "delivered"};
 }
 
+std::string SerializeSummaryRow(const SweepPoint& point) {
+  const auto& c = point.config;
+  const auto& m = point.measured;
+  const std::vector<std::string> cells = {
+      Fmt(c.distance_m),
+      std::to_string(c.pa_level),
+      std::to_string(c.max_tries),
+      Fmt(c.retry_delay_ms),
+      std::to_string(c.queue_capacity),
+      Fmt(c.pkt_interval_ms),
+      std::to_string(c.payload_bytes),
+      Fmt(point.mean_snr_db),
+      Fmt(m.per),
+      Fmt(m.mean_tries_acked),
+      Fmt(m.goodput_kbps),
+      Fmt(m.energy_uj_per_bit),
+      Fmt(m.mean_delay_ms),
+      Fmt(m.mean_service_ms),
+      Fmt(m.plr_queue),
+      Fmt(m.plr_radio),
+      Fmt(m.plr_total),
+      Fmt(m.utilization),
+      std::to_string(m.generated),
+      std::to_string(m.delivered_unique),
+  };
+  std::string row;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) row += ',';
+    row += util::EscapeCsvCell(cells[i]);
+  }
+  return row;
+}
+
+SweepPoint ParseSummaryRow(const std::string& row) {
+  const auto cells = util::ParseCsvLine(row);
+  if (cells.size() != SummaryCsvHeaders().size()) {
+    throw std::runtime_error("ParseSummaryRow: expected " +
+                             std::to_string(SummaryCsvHeaders().size()) +
+                             " cells, got " + std::to_string(cells.size()));
+  }
+  SweepPoint p;
+  p.config.distance_m = CellToDouble(cells[0]);
+  p.config.pa_level = static_cast<int>(CellToDouble(cells[1]));
+  p.config.max_tries = static_cast<int>(CellToDouble(cells[2]));
+  p.config.retry_delay_ms = CellToDouble(cells[3]);
+  p.config.queue_capacity = static_cast<int>(CellToDouble(cells[4]));
+  p.config.pkt_interval_ms = CellToDouble(cells[5]);
+  p.config.payload_bytes = static_cast<int>(CellToDouble(cells[6]));
+  p.mean_snr_db = CellToDouble(cells[7]);
+  p.measured.per = CellToDouble(cells[8]);
+  p.measured.mean_tries_acked = CellToDouble(cells[9]);
+  p.measured.goodput_kbps = CellToDouble(cells[10]);
+  p.measured.energy_uj_per_bit = CellToDouble(cells[11]);
+  p.measured.mean_delay_ms = CellToDouble(cells[12]);
+  p.measured.mean_service_ms = CellToDouble(cells[13]);
+  p.measured.plr_queue = CellToDouble(cells[14]);
+  p.measured.plr_radio = CellToDouble(cells[15]);
+  p.measured.plr_total = CellToDouble(cells[16]);
+  p.measured.utilization = CellToDouble(cells[17]);
+  p.measured.generated = static_cast<int>(CellToDouble(cells[18]));
+  p.measured.delivered_unique =
+      static_cast<std::uint64_t>(CellToDouble(cells[19]));
+  return p;
+}
+
+void WriteSummaryCsvRows(const std::string& path,
+                         const std::vector<std::string>& rows) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("WriteSummaryCsvRows: cannot open " + path);
+  }
+  const auto check = [&out, &path](const char* action) {
+    auto& injector = util::FaultInjector::Global();
+    if (injector.Armed() && injector.ShouldFail("csv.write")) {
+      out.setstate(std::ios::failbit);
+    }
+    if (!out) {
+      throw std::runtime_error(std::string("WriteSummaryCsvRows: ") + action +
+                               " failed for " + path +
+                               " (disk full or I/O error?)");
+    }
+  };
+  const auto headers = SummaryCsvHeaders();
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    if (i) out << ',';
+    out << util::EscapeCsvCell(headers[i]);
+  }
+  out << '\n';
+  check("write");
+  for (const auto& row : rows) {
+    out << row << '\n';
+    check("write");
+  }
+  out.flush();
+  check("flush");
+}
+
 void WriteSummaryCsv(const std::string& path,
                      const std::vector<SweepPoint>& points) {
-  util::CsvWriter writer(path, SummaryCsvHeaders());
-  for (const auto& point : points) {
-    const auto& c = point.config;
-    const auto& m = point.measured;
-    writer.WriteRow({
-        Fmt(c.distance_m),
-        std::to_string(c.pa_level),
-        std::to_string(c.max_tries),
-        Fmt(c.retry_delay_ms),
-        std::to_string(c.queue_capacity),
-        Fmt(c.pkt_interval_ms),
-        std::to_string(c.payload_bytes),
-        Fmt(point.mean_snr_db),
-        Fmt(m.per),
-        Fmt(m.mean_tries_acked),
-        Fmt(m.goodput_kbps),
-        Fmt(m.energy_uj_per_bit),
-        Fmt(m.mean_delay_ms),
-        Fmt(m.mean_service_ms),
-        Fmt(m.plr_queue),
-        Fmt(m.plr_radio),
-        Fmt(m.plr_total),
-        Fmt(m.utilization),
-        std::to_string(m.generated),
-        std::to_string(m.delivered_unique),
-    });
-  }
+  std::vector<std::string> rows;
+  rows.reserve(points.size());
+  for (const auto& point : points) rows.push_back(SerializeSummaryRow(point));
+  WriteSummaryCsvRows(path, rows);
 }
 
 std::vector<SweepPoint> ReadSummaryCsv(const std::string& path) {

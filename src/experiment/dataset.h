@@ -35,6 +35,23 @@ void WriteAttemptLogCsv(const std::string& path, const link::PacketLog& log);
 /// Column headers of the per-config summary schema.
 [[nodiscard]] std::vector<std::string> SummaryCsvHeaders();
 
+/// One summary row, serialized exactly as WriteSummaryCsv emits it (escaped
+/// cells joined by ',', no trailing newline). The campaign checkpoint
+/// stores these strings verbatim, which is what makes a resumed run's CSV
+/// byte-identical to an uninterrupted one: no parse/re-format round trip.
+[[nodiscard]] std::string SerializeSummaryRow(const SweepPoint& point);
+
+/// Inverse of SerializeSummaryRow (columns are positional per
+/// SummaryCsvHeaders; only the summary columns are reconstructed). Throws
+/// std::runtime_error on a malformed row.
+[[nodiscard]] SweepPoint ParseSummaryRow(const std::string& row);
+
+/// Writes a summary CSV from pre-serialized rows (the checkpoint/resume
+/// path). WriteSummaryCsv delegates here, so both paths emit identical
+/// bytes for identical points.
+void WriteSummaryCsvRows(const std::string& path,
+                         const std::vector<std::string>& rows);
+
 /// Writes a sweep's summary rows.
 void WriteSummaryCsv(const std::string& path,
                      const std::vector<SweepPoint>& points);

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cmath>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "core/models/model_set.h"
 #include "core/opt/objectives.h"
+#include "util/fault_injection.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -137,6 +139,9 @@ std::vector<bool> PrescreenMask(const std::vector<core::StackConfig>& configs,
 std::vector<SweepPoint> RunSweep(const std::vector<core::StackConfig>& configs,
                                  const SweepOptions& options) {
   std::vector<SweepPoint> points(configs.size());
+  if (!options.skip.empty() && options.skip.size() != configs.size()) {
+    throw std::invalid_argument("RunSweep: skip mask size != config count");
+  }
 
   std::vector<bool> keep;
   if (options.analytic_prescreen) {
@@ -151,27 +156,57 @@ std::vector<SweepPoint> RunSweep(const std::vector<core::StackConfig>& configs,
 
   std::atomic<std::size_t> done{0};
   SweepParallelFor(configs.size(), options, [&](std::size_t i) {
-    if (!keep.empty() && !keep[i]) {
+    if (!options.skip.empty() && options.skip[i]) {
+      // Resumed-from-checkpoint index: the caller fills the point; the
+      // sweep only keeps the slot aligned and the progress count honest.
+      points[i].config = configs[i];
       if (options.progress) {
         options.progress(done.fetch_add(1) + 1, configs.size());
       }
       return;
     }
-    auto sim_options = MakeOptions(configs[i], options, i);
-    // Per-run tracer: runs never share observability state, which is what
-    // keeps captured traces identical across thread counts.
-    std::unique_ptr<trace::Tracer> tracer;
-    if (options.capture_traces) {
-      tracer = std::make_unique<trace::Tracer>(options.trace_capacity);
-      sim_options.tracer = tracer.get();
+    if (options.cancel && options.cancel()) return;
+    if (!keep.empty() && !keep[i]) {
+      if (options.on_point) options.on_point(i, points[i]);
+      if (options.progress) {
+        options.progress(done.fetch_add(1) + 1, configs.size());
+      }
+      return;
     }
-    auto result = node::RunLinkSimulation(sim_options);
-    points[i].config = configs[i];
-    points[i].measured =
-        metrics::ComputeMetrics(result, configs[i].pkt_interval_ms);
-    points[i].mean_snr_db = result.mean_snr_db;
-    points[i].counters = std::move(result.counters);
-    if (tracer) points[i].events = tracer->Events();
+    // Graceful degradation: a worker that throws (simulation bug, injected
+    // fault, bad config) marks *this* point failed instead of taking the
+    // whole campaign down with it.
+    try {
+      if (util::FaultInjector::Global().Armed()) {
+        util::FaultInjector::Global().MaybeThrow("sweep.worker");
+      }
+      auto sim_options = MakeOptions(configs[i], options, i);
+      // Per-run tracer: runs never share observability state, which is what
+      // keeps captured traces identical across thread counts.
+      std::unique_ptr<trace::Tracer> tracer;
+      if (options.capture_traces) {
+        tracer = std::make_unique<trace::Tracer>(options.trace_capacity);
+        sim_options.tracer = tracer.get();
+      }
+      auto result = node::RunLinkSimulation(sim_options);
+      points[i].config = configs[i];
+      points[i].measured =
+          metrics::ComputeMetrics(result, configs[i].pkt_interval_ms);
+      points[i].mean_snr_db = result.mean_snr_db;
+      points[i].counters = std::move(result.counters);
+      if (tracer) points[i].events = tracer->Events();
+    } catch (const std::exception& e) {
+      points[i] = SweepPoint{};
+      points[i].config = configs[i];
+      points[i].failed = true;
+      points[i].error = e.what();
+    } catch (...) {
+      points[i] = SweepPoint{};
+      points[i].config = configs[i];
+      points[i].failed = true;
+      points[i].error = "unknown error";
+    }
+    if (options.on_point) options.on_point(i, points[i]);
     if (options.progress) {
       options.progress(done.fetch_add(1) + 1, configs.size());
     }

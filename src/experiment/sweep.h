@@ -38,6 +38,12 @@ struct SweepPoint {
   /// each run owns its tracer, so capture stays deterministic under any
   /// thread count).
   std::vector<trace::TraceEvent> events;
+  /// True when this config's worker task threw: `error` carries the
+  /// structured message, the measured fields are left zeroed, and the
+  /// sweep continues — one bad config never tears down the campaign
+  /// (the campaign counts these as "campaign.configs_failed").
+  bool failed = false;
+  std::string error;
 };
 
 /// Sweep options shared by every run.
@@ -82,6 +88,22 @@ struct SweepOptions {
   /// Optional progress callback (invoked from worker threads with the
   /// number of completed runs; must be thread-safe). May be empty.
   std::function<void(std::size_t done, std::size_t total)> progress;
+  /// Resume support: indices marked true are not run at all — their
+  /// SweepPoint keeps only `config`, and the caller is expected to fill
+  /// them from persisted state (see experiment/checkpoint.h). Empty = run
+  /// everything; otherwise must parallel `configs`. Skipped indices keep
+  /// their original-index seeds off the table entirely, so the simulated
+  /// remainder stays bit-identical to an unskipped sweep.
+  std::vector<bool> skip;
+  /// Completion hook: invoked from worker threads immediately after
+  /// points[index] is finalised (simulated, prescreened or failed — not
+  /// for skipped/cancelled indices). Must be thread-safe. The campaign's
+  /// checkpoint writer hangs off this.
+  std::function<void(std::size_t index, const SweepPoint& point)> on_point;
+  /// Cooperative cancellation, polled before each config starts: once it
+  /// returns true, configs not yet started are left unrun (no on_point, no
+  /// progress). Must be thread-safe. Models budgeted / interruptible runs.
+  std::function<bool()> cancel;
 };
 
 /// Seed for the i-th configuration of a sweep (exposed so single runs can

@@ -27,6 +27,7 @@ LinkLayer::LinkLayer(sim::Simulator& simulator, mac::Mac& mac,
 void LinkLayer::AttachTrace(const trace::TraceContext& ctx) {
   tracer_ = ctx.tracer;
   counters_ = ctx.counters;
+  queue_.AttachCounters(ctx.counters);
   if (counters_ != nullptr) {
     id_accepted_ = counters_->Register("link.accepted");
     id_queue_drops_ = counters_->Register("link.queue_drops");

@@ -14,13 +14,24 @@ int TransmitQueue::Occupancy() const noexcept {
 
 bool TransmitQueue::Full() const noexcept { return Occupancy() >= capacity_; }
 
+void TransmitQueue::AttachCounters(trace::CounterRegistry* registry) {
+  counters_ = registry;
+  if (counters_ == nullptr) return;
+  id_accepted_ = counters_->Register("queue.accepted");
+  id_drops_ = counters_->Register("queue.drops");
+  if (accepted_ > 0) counters_->Add(id_accepted_, accepted_);
+  if (drops_ > 0) counters_->Add(id_drops_, drops_);
+}
+
 bool TransmitQueue::Offer(const QueuedPacket& packet) {
   if (Full()) {
     ++drops_;
+    if (counters_ != nullptr) counters_->Add(id_drops_);
     return false;
   }
   waiting_.push_back(packet);
   ++accepted_;
+  if (counters_ != nullptr) counters_->Add(id_accepted_);
   return true;
 }
 

@@ -12,6 +12,7 @@
 #include <stdexcept>
 
 #include "sim/time.h"
+#include "trace/counters.h"
 
 namespace wsnlink::link {
 
@@ -54,12 +55,22 @@ class TransmitQueue {
   [[nodiscard]] std::uint64_t Drops() const noexcept { return drops_; }
   [[nodiscard]] std::uint64_t Accepted() const noexcept { return accepted_; }
 
+  /// Mirrors the accept/drop counters into `registry` as "queue.accepted" /
+  /// "queue.drops" so queue-loss observability rides the same snapshot
+  /// pipeline as every other layer (the paper's rho-driven PLR_queue
+  /// analysis reads these from campaign roll-ups). Any counts accumulated
+  /// before attaching are carried over; nullptr detaches.
+  void AttachCounters(trace::CounterRegistry* registry);
+
  private:
   int capacity_;
   std::deque<QueuedPacket> waiting_;
   bool in_service_ = false;
   std::uint64_t drops_ = 0;
   std::uint64_t accepted_ = 0;
+  trace::CounterRegistry* counters_ = nullptr;
+  trace::CounterRegistry::Id id_accepted_ = 0;
+  trace::CounterRegistry::Id id_drops_ = 0;
 };
 
 }  // namespace wsnlink::link

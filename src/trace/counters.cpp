@@ -43,4 +43,16 @@ std::vector<CounterSample> MergeCounters(
   return out;
 }
 
+void AddSample(std::vector<CounterSample>& samples, std::string_view name,
+               std::uint64_t value) {
+  const auto it = std::lower_bound(
+      samples.begin(), samples.end(), name,
+      [](const CounterSample& s, std::string_view n) { return s.name < n; });
+  if (it != samples.end() && it->name == name) {
+    it->value += value;
+    return;
+  }
+  samples.insert(it, CounterSample{std::string(name), value});
+}
+
 }  // namespace wsnlink::trace

@@ -59,4 +59,10 @@ class CounterRegistry {
 [[nodiscard]] std::vector<CounterSample> MergeCounters(
     const std::vector<std::vector<CounterSample>>& snapshots);
 
+/// Merges one sample into a sorted-by-name snapshot: adds to an existing
+/// entry or inserts at the sorted position (how the campaign folds its own
+/// counters — e.g. "campaign.configs_failed" — into the per-run roll-up).
+void AddSample(std::vector<CounterSample>& samples, std::string_view name,
+               std::uint64_t value);
+
 }  // namespace wsnlink::trace

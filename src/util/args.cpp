@@ -72,6 +72,33 @@ int Args::GetInt(const std::string& flag, int fallback) const {
   return parsed;
 }
 
+int Args::GetPositiveInt(const std::string& flag, int fallback) const {
+  const auto value = Get(flag);
+  if (!value) return fallback;
+  try {
+    return ParsePositiveInt(*value, flag);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("bad positive integer for " + flag + ": " +
+                                *value);
+  }
+}
+
+int ParsePositiveInt(const std::string& value, const std::string& what) {
+  std::size_t consumed = 0;
+  int parsed = 0;
+  try {
+    parsed = std::stoi(value, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad positive integer for " + what + ": '" +
+                                value + "'");
+  }
+  if (consumed != value.size() || parsed < 1) {
+    throw std::invalid_argument("bad positive integer for " + what + ": '" +
+                                value + "'");
+  }
+  return parsed;
+}
+
 std::size_t Args::GetSize(const std::string& flag, std::size_t fallback) const {
   const auto value = Get(flag);
   if (!value) return fallback;

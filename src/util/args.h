@@ -39,6 +39,10 @@ class Args {
   [[nodiscard]] std::size_t GetSize(const std::string& flag,
                                     std::size_t fallback) const;
 
+  /// Like GetInt but additionally rejects values < 1 (count-style flags:
+  /// packets, tries, intervals). The fallback is not validated.
+  [[nodiscard]] int GetPositiveInt(const std::string& flag, int fallback) const;
+
   /// Non-flag arguments in order.
   [[nodiscard]] const std::vector<std::string>& Positional() const noexcept {
     return positional_;
@@ -49,5 +53,12 @@ class Args {
   std::vector<std::string> switches_given_;
   std::vector<std::string> positional_;
 };
+
+/// Parses a strictly positive integer from the *entire* string: "3" is
+/// fine, "" / "abc" / "3x" / "0" / "-2" all throw std::invalid_argument
+/// naming `what`. The validated replacement for raw std::atoi on
+/// count-style positional arguments (atoi silently yields 0 on garbage).
+[[nodiscard]] int ParsePositiveInt(const std::string& value,
+                                   const std::string& what);
 
 }  // namespace wsnlink::util

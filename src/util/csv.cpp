@@ -4,6 +4,8 @@
 #include <charconv>
 #include <stdexcept>
 
+#include "util/fault_injection.h"
+
 namespace wsnlink::util {
 
 std::string EscapeCsvCell(std::string_view cell) {
@@ -20,18 +22,41 @@ std::string EscapeCsvCell(std::string_view cell) {
 }
 
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> headers)
-    : out_(path), columns_(headers.size()) {
+    : out_(path), path_(path), columns_(headers.size()) {
   if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
   if (headers.empty()) throw std::invalid_argument("CsvWriter: no headers");
   WriteCells(headers);
+}
+
+CsvWriter::~CsvWriter() {
+  // Best-effort close: errors here are invisible (destructors must not
+  // throw). Callers that need the disk-full guarantee call Close().
+  try {
+    Close();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
 }
 
 void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
   if (cells.size() != columns_) {
     throw std::invalid_argument("CsvWriter: cell count != header count");
   }
+  if (closed_) throw std::logic_error("CsvWriter: write after Close()");
   WriteCells(cells);
   ++rows_;
+}
+
+void CsvWriter::Close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.flush();
+  if (FaultInjector::Global().Armed() &&
+      FaultInjector::Global().ShouldFail("csv.close")) {
+    out_.setstate(std::ios::failbit);
+  }
+  ThrowIfBad("flush");
+  out_.close();
+  ThrowIfBad("close");
 }
 
 void CsvWriter::WriteCells(const std::vector<std::string>& cells) {
@@ -40,13 +65,28 @@ void CsvWriter::WriteCells(const std::vector<std::string>& cells) {
   // round trip.
   if (cells.size() == 1 && cells[0].empty()) {
     out_ << "\"\"\n";
-    return;
+  } else {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << EscapeCsvCell(cells[i]);
+    }
+    out_ << '\n';
   }
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i) out_ << ',';
-    out_ << EscapeCsvCell(cells[i]);
+  // ENOSPC model for the robustness tests: an injected failure behaves
+  // exactly like the stream reporting a short write.
+  if (FaultInjector::Global().Armed() &&
+      FaultInjector::Global().ShouldFail("csv.write")) {
+    out_.setstate(std::ios::failbit);
   }
-  out_ << '\n';
+  ThrowIfBad("write");
+}
+
+void CsvWriter::ThrowIfBad(const char* action) {
+  if (!out_) {
+    throw std::runtime_error(std::string("CsvWriter: ") + action +
+                             " failed for " + path_ +
+                             " (disk full or I/O error?)");
+  }
 }
 
 std::vector<std::string> ParseCsvLine(std::string_view line) {

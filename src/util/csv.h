@@ -14,26 +14,40 @@
 
 namespace wsnlink::util {
 
-/// Streams rows to a CSV file. Throws std::runtime_error if the file cannot
-/// be opened. Flushes on destruction (RAII).
+/// Streams rows to a CSV file. Throws std::runtime_error (with the path in
+/// the message) if the file cannot be opened or any write fails — a full
+/// disk must never produce a silently truncated dataset. Call Close() to
+/// surface flush/close failures; the destructor closes too but swallows
+/// errors (destructors must not throw), so callers that care about
+/// durability close explicitly.
 class CsvWriter {
  public:
   CsvWriter(const std::string& path, std::vector<std::string> headers);
+  ~CsvWriter();
 
   CsvWriter(const CsvWriter&) = delete;
   CsvWriter& operator=(const CsvWriter&) = delete;
 
-  /// Writes one row; the cell count must equal the header count.
+  /// Writes one row; the cell count must equal the header count. Throws
+  /// std::runtime_error when the stream reports a write failure.
   void WriteRow(const std::vector<std::string>& cells);
 
+  /// Flushes and closes, throwing std::runtime_error if either fails.
+  /// Idempotent; after Close() the writer accepts no more rows.
+  void Close();
+
   [[nodiscard]] std::size_t RowsWritten() const noexcept { return rows_; }
+  [[nodiscard]] const std::string& Path() const noexcept { return path_; }
 
  private:
   void WriteCells(const std::vector<std::string>& cells);
+  void ThrowIfBad(const char* action);
 
   std::ofstream out_;
+  std::string path_;
   std::size_t columns_;
   std::size_t rows_ = 0;
+  bool closed_ = false;
 };
 
 /// Fully parsed CSV contents.

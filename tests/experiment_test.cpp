@@ -7,6 +7,7 @@
 #include "experiment/dataset.h"
 #include "experiment/sweep.h"
 #include "util/csv.h"
+#include "util/fault_injection.h"
 
 namespace wsnlink::experiment {
 namespace {
@@ -157,6 +158,87 @@ TEST(Campaign, InvalidStrideRejected) {
   CampaignOptions options;
   options.stride = 0;
   EXPECT_THROW((void)RunCampaign(options), std::invalid_argument);
+}
+
+TEST(Campaign, InvalidCheckpointIntervalRejected) {
+  CampaignOptions options;
+  options.checkpoint_every = 0;
+  EXPECT_THROW((void)RunCampaign(options), std::invalid_argument);
+}
+
+TEST(FaultInjection, ThrowingWorkerMarksOnlyThatPointFailed) {
+  util::ScopedFaultInjection injection;
+  injection->FailNth("sweep.worker", 1);  // second config's worker throws
+
+  SweepOptions options;
+  options.packet_count = 50;
+  options.threads = 1;  // serial => site ordinals follow config order
+  const auto points = RunSweep(SmallConfigSet(), options);
+  ASSERT_EQ(points.size(), 3u);
+
+  EXPECT_FALSE(points[0].failed);
+  EXPECT_TRUE(points[1].failed);
+  EXPECT_FALSE(points[2].failed);
+  // The failed point carries a structured error and zeroed metrics but
+  // keeps its config; its neighbours are untouched.
+  EXPECT_NE(points[1].error.find("sweep.worker"), std::string::npos);
+  EXPECT_EQ(points[1].measured.delivered_unique, 0u);
+  EXPECT_EQ(points[1].config.pa_level, 19);
+  EXPECT_GT(points[0].measured.delivered_unique, 0u);
+}
+
+TEST(FaultInjection, CampaignCountsFailuresAndWritesErrorRecords) {
+  util::ScopedFaultInjection injection;
+  injection->FailNth("sweep.worker", 0);
+
+  CampaignOptions options;
+  options.packet_count = 20;
+  options.stride = 4000;  // ~13 configs
+  options.threads = 1;
+  options.summary_csv_path =
+      (std::filesystem::temp_directory_path() / "wsn_faulted.csv").string();
+  const auto result = RunCampaign(options);
+
+  EXPECT_EQ(result.configs_failed, 1u);
+  // The failure is visible in the campaign counter roll-up...
+  bool found = false;
+  for (const auto& sample : result.counters) {
+    if (sample.name == "campaign.configs_failed") {
+      found = true;
+      EXPECT_EQ(sample.value, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+  // ...and as a structured record next to the summary CSV.
+  const std::string errors_path = options.summary_csv_path + ".errors.csv";
+  ASSERT_TRUE(std::filesystem::exists(errors_path));
+  const auto records = util::ReadCsv(errors_path);
+  ASSERT_EQ(records.rows.size(), 1u);
+  EXPECT_EQ(records.rows[0][0], "0");
+  EXPECT_NE(records.rows[0][1].find("sweep.worker"), std::string::npos);
+
+  std::filesystem::remove(options.summary_csv_path);
+  std::filesystem::remove(errors_path);
+}
+
+TEST(FaultInjection, SummaryCsvWriteFailureThrowsWithPath) {
+  util::ScopedFaultInjection injection;
+  injection->FailAfter("csv.write", 0);  // disk full from the first write
+
+  SweepOptions sweep;
+  sweep.packet_count = 30;
+  const auto points = RunSweep(SmallConfigSet(), sweep);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "wsn_enospc.csv").string();
+  try {
+    WriteSummaryCsv(path, points);
+    FAIL() << "silently truncated summary CSV";
+  } catch (const std::runtime_error& e) {
+    // The error must name the file so a campaign log points at the bad
+    // volume, not just "write failed".
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  std::filesystem::remove(path);
 }
 
 }  // namespace

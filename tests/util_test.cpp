@@ -2,11 +2,16 @@
 // tables, CSV.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "util/csv.h"
+#include "util/fault_injection.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -329,6 +334,135 @@ TEST(Csv, WriterEnforcesColumnCount) {
   CsvWriter writer(path, {"a", "b"});
   EXPECT_THROW(writer.WriteRow({"only-one"}), std::invalid_argument);
   std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------ FaultInjection ----
+
+TEST(FaultInjector, DisarmedByDefaultAndNeverFails) {
+  ScopedFaultInjection injection;
+  EXPECT_FALSE(injection->Armed());
+  EXPECT_FALSE(injection->ShouldFail("csv.write"));
+  // Unscheduled sites are not even counted.
+  EXPECT_EQ(injection->Operations("csv.write"), 0u);
+}
+
+TEST(FaultInjector, FailAfterFailsEveryOperationFromThreshold) {
+  ScopedFaultInjection injection;
+  injection->FailAfter("site", 2);
+  EXPECT_TRUE(injection->Armed());
+  EXPECT_FALSE(injection->ShouldFail("site"));  // ordinal 0
+  EXPECT_FALSE(injection->ShouldFail("site"));  // ordinal 1
+  EXPECT_TRUE(injection->ShouldFail("site"));   // ordinal 2: disk now full
+  EXPECT_TRUE(injection->ShouldFail("site"));   // ...and stays full
+  EXPECT_EQ(injection->Operations("site"), 4u);
+  EXPECT_EQ(injection->Injected("site"), 2u);
+}
+
+TEST(FaultInjector, FailNthFailsExactlyOne) {
+  ScopedFaultInjection injection;
+  injection->FailNth("site", 1);
+  EXPECT_FALSE(injection->ShouldFail("site"));
+  EXPECT_TRUE(injection->ShouldFail("site"));
+  EXPECT_FALSE(injection->ShouldFail("site"));
+  EXPECT_EQ(injection->Injected("site"), 1u);
+}
+
+TEST(FaultInjector, SitesAreIndependent) {
+  ScopedFaultInjection injection;
+  injection->FailAfter("a", 0);
+  EXPECT_TRUE(injection->ShouldFail("a"));
+  EXPECT_FALSE(injection->ShouldFail("b"));
+}
+
+TEST(FaultInjector, ProbabilityScheduleIsDeterministicInSeed) {
+  const auto run = [](std::uint64_t seed) {
+    ScopedFaultInjection injection;
+    injection->FailWithProbability("site", 0.5, seed);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(injection->ShouldFail("site"));
+    }
+    return outcomes;
+  };
+  const auto a = run(42);
+  EXPECT_EQ(a, run(42));
+  EXPECT_NE(a, run(43));
+  // p=0.5 over 64 ordinals: both outcomes must actually occur.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST(FaultInjector, MaybeThrowRaisesInjectedFaultNamingSite) {
+  ScopedFaultInjection injection;
+  injection->FailAfter("sweep.worker", 0);
+  try {
+    injection->MaybeThrow("sweep.worker");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_NE(std::string(e.what()).find("sweep.worker"), std::string::npos);
+  }
+}
+
+TEST(FaultInjector, ScopeClearsSchedulesOnExit) {
+  {
+    ScopedFaultInjection injection;
+    injection->FailAfter("site", 0);
+    EXPECT_TRUE(FaultInjector::Global().Armed());
+  }
+  EXPECT_FALSE(FaultInjector::Global().Armed());
+}
+
+TEST(Csv, WriterInjectedWriteFailureThrowsWithPath) {
+  ScopedFaultInjection injection;
+  // Ordinal 0 is the header row the constructor writes; fail the first
+  // data row.
+  injection->FailNth("csv.write", 1);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "wsn_csv_fault.csv").string();
+  CsvWriter writer(path, {"a", "b"});
+  try {
+    writer.WriteRow({"1", "2"});
+    FAIL() << "write failure was swallowed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, WriterInjectedCloseFailureThrowsWithPath) {
+  ScopedFaultInjection injection;
+  injection->FailNth("csv.close", 0);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "wsn_csv_close.csv").string();
+  CsvWriter writer(path, {"a"});
+  writer.WriteRow({"1"});
+  try {
+    writer.Close();
+    FAIL() << "close failure was swallowed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, WriterRejectsRowsAfterClose) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "wsn_csv_closed.csv").string();
+  CsvWriter writer(path, {"a"});
+  writer.WriteRow({"1"});
+  writer.Close();
+  EXPECT_THROW(writer.WriteRow({"2"}), std::logic_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, WriterOpenFailureNamesPath) {
+  const std::string path = "/nonexistent-dir-wsn/out.csv";
+  try {
+    CsvWriter writer(path, {"a"});
+    FAIL() << "open of an unwritable path succeeded";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
 }
 
 }  // namespace
