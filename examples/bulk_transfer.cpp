@@ -11,8 +11,10 @@
 #include "core/models/model_set.h"
 #include "core/opt/baselines.h"
 #include "core/opt/epsilon_constraint.h"
+#include "example_flags.h"
 #include "metrics/link_metrics.h"
 #include "node/link_simulation.h"
+#include "util/args.h"
 #include "util/table.h"
 
 namespace {
@@ -30,13 +32,15 @@ struct TransferOutcome {
   double goodput_kbps = 0.0;
 };
 
-TransferOutcome Transfer(const core::StackConfig& config) {
+TransferOutcome Transfer(const core::StackConfig& config,
+                         const util::Args& args) {
   node::SimulationOptions options;
   options.config = config;
   options.seed = 11;
   options.spatial_shadow_db = kShadowDb;
   options.disable_temporal_shadowing = true;
   options.packet_count = 1200;
+  examples::ApplySimFlags(args, options);
   const auto m = metrics::MeasureConfig(options);
 
   TransferOutcome outcome;
@@ -51,8 +55,15 @@ TransferOutcome Transfer(const core::StackConfig& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace wsnlink;
+
+  const util::Args args(argc, argv, {"--help"});
+  if (args.Has("--help")) {
+    std::cout << "usage: bulk_transfer [--seed N] [--packets N]\n";
+    return 0;
+  }
+
   std::cout << "Bulk transfer: push 64 KiB over a grey-zone 35 m link\n\n";
 
   const core::models::ModelSet models(
@@ -69,9 +80,9 @@ int main() {
 
   util::TextTable table({"strategy", "config", "transfer[s]", "energy[mJ]",
                          "goodput[kbps]"});
-  const auto add = [&table](const std::string& name,
-                            const core::StackConfig& config) {
-    const auto outcome = Transfer(config);
+  const auto add = [&table, &args](const std::string& name,
+                                   const core::StackConfig& config) {
+    const auto outcome = Transfer(config, args);
     table.NewRow()
         .Add(name)
         .Add(config.ToString())
@@ -88,4 +99,7 @@ int main() {
                "cheaper: the paper's Fig. 1 trade-off in application "
                "terms.\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bulk_transfer: " << e.what() << "\n";
+  return 1;
 }

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "core/models/model_set.h"
+#include "example_flags.h"
 #include "metrics/link_metrics.h"
 #include "node/link_simulation.h"
 #include "trace/export.h"
@@ -53,8 +54,9 @@ int main(int argc, char** argv) try {
   //    run when asked to.
   node::SimulationOptions options;
   options.config = config;
-  options.seed = static_cast<std::uint64_t>(args.GetInt("--seed", 42));
-  options.packet_count = args.GetInt("--packets", 2000);
+  options.seed = 42;
+  options.packet_count = 2000;
+  examples::ApplySimFlags(args, options);
 
   const std::string trace_out = args.GetString("--trace-out", "");
   const std::string trace_csv = args.GetString("--trace-csv", "");

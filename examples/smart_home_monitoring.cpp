@@ -9,26 +9,37 @@
 #include <iostream>
 
 #include "core/opt/guidelines.h"
+#include "example_flags.h"
 #include "metrics/link_metrics.h"
 #include "node/link_simulation.h"
+#include "util/args.h"
 #include "util/table.h"
 
 namespace {
 
 using namespace wsnlink;
 
-metrics::LinkMetrics Evaluate(const core::StackConfig& config) {
+metrics::LinkMetrics Evaluate(const core::StackConfig& config,
+                              const util::Args& args) {
   node::SimulationOptions options;
   options.config = config;
   options.seed = 7;
   options.packet_count = 2000;
+  examples::ApplySimFlags(args, options);
   return metrics::MeasureConfig(options);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace wsnlink;
+
+  const util::Args args(argc, argv, {"--help"});
+  if (args.Has("--help")) {
+    std::cout << "usage: smart_home_monitoring [--seed N] [--packets N]\n";
+    return 0;
+  }
+
   std::cout << "Smart-home monitoring: sensor -> base station, 18 m, one "
                "reading every 200 ms\n\n";
 
@@ -53,9 +64,9 @@ int main() {
 
   util::TextTable table({"policy", "config", "loss", "energy[uJ/bit]",
                          "delay[ms]", "rho"});
-  const auto add_row = [&table](const std::string& name,
-                                const core::StackConfig& config) {
-    const auto m = Evaluate(config);
+  const auto add_row = [&table, &args](const std::string& name,
+                                       const core::StackConfig& config) {
+    const auto m = Evaluate(config, args);
     table.NewRow()
         .Add(name)
         .Add(config.ToString())
@@ -88,4 +99,7 @@ int main() {
                    energy_rec.predicted.energy_uj_per_bit, 3)
             << " uJ per delivered bit\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "smart_home_monitoring: " << e.what() << "\n";
+  return 1;
 }

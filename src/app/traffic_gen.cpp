@@ -22,6 +22,7 @@ TrafficGenerator::TrafficGenerator(sim::Simulator& simulator,
 void TrafficGenerator::AttachTrace(const trace::TraceContext& ctx) {
   tracer_ = ctx.tracer;
   counters_ = ctx.counters;
+  node_ = ctx.node;
   if (counters_ != nullptr) {
     id_generated_ = counters_->Register("app.packets_generated");
   }
@@ -36,7 +37,7 @@ void TrafficGenerator::Emit() {
   if (tracer_ != nullptr) {
     tracer_->Emit({sim_.Now(), trace::EventType::kPacketGenerated,
                    trace::Layer::kApp, next_id_, params_.payload_bytes, 0,
-                   0.0});
+                   0.0, node_});
   }
   link_.Accept(next_id_++, params_.payload_bytes);
   ++generated_;

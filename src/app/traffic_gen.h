@@ -68,6 +68,7 @@ class TrafficGenerator {
   // Observability (null = off).
   trace::Tracer* tracer_ = nullptr;
   trace::CounterRegistry* counters_ = nullptr;
+  std::int32_t node_ = 0;
   trace::CounterRegistry::Id id_generated_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace wsnlink::channel {
 
@@ -17,6 +18,34 @@ ShadowingParams ResolveShadowing(const ChannelConfig& config) {
 }
 
 }  // namespace
+
+void ChannelConfig::Validate() const {
+  if (distance_m <= 0.0) {
+    throw std::invalid_argument("ChannelConfig: distance must be > 0");
+  }
+  if (mobility.speed_mps < 0.0) {
+    throw std::invalid_argument(
+        "ChannelConfig: mobility speed must be >= 0 m/s");
+  }
+  if (mobility.speed_mps > 0.0) {
+    if (mobility.min_distance_m <= 0.0 ||
+        mobility.min_distance_m >= mobility.max_distance_m) {
+      throw std::invalid_argument(
+          "ChannelConfig: mobility requires 0 < min distance < max distance "
+          "(got min=" +
+          std::to_string(mobility.min_distance_m) +
+          " m, max=" + std::to_string(mobility.max_distance_m) + " m)");
+    }
+    if (distance_m < mobility.min_distance_m ||
+        distance_m > mobility.max_distance_m) {
+      throw std::invalid_argument(
+          "ChannelConfig: start distance " + std::to_string(distance_m) +
+          " m lies outside the mobility range [" +
+          std::to_string(mobility.min_distance_m) + ", " +
+          std::to_string(mobility.max_distance_m) + "] m");
+    }
+  }
+}
 
 int SnrToLqi(double snr_db, util::Rng& rng) {
   // CC2420 LQI is chip-correlation based; empirically it saturates around
@@ -37,9 +66,7 @@ Channel::Channel(ChannelConfig config, std::unique_ptr<BerModel> ber,
       loss_rng_(rng.Derive("frame-loss")),
       lqi_rng_(rng.Derive("lqi")) {
   if (!ber_) throw std::invalid_argument("Channel: BER model must be non-null");
-  if (config_.distance_m <= 0.0) {
-    throw std::invalid_argument("Channel: distance must be > 0");
-  }
+  config_.Validate();
 }
 
 Channel::Channel(ChannelConfig config, util::Rng rng)
@@ -75,7 +102,19 @@ double Channel::SampleNoiseFloorDbm(sim::Time now) {
 }
 
 bool Channel::CcaBusy(sim::Time now) {
-  return noise_.InterferenceActive(now) || interferer_.ActiveAt(now);
+  // The medium check comes last: the first two legs advance their renewal
+  // RNG streams with short-circuit semantics that pre-date multi-node, so
+  // appending the RNG-free medium query keeps uncontended draw sequences
+  // bit-identical.
+  return noise_.InterferenceActive(now) || interferer_.ActiveAt(now) ||
+         MediumBusy(now);
+}
+
+void Channel::BeginTransmission(double tx_power_dbm, sim::Time start,
+                                sim::Time end) {
+  if (medium_ == nullptr) return;
+  medium_->Begin(node_id_, start, end,
+                 PathRssiDbm(tx_power_dbm, DistanceAt(start)));
 }
 
 TransmissionOutcome Channel::Transmit(double tx_power_dbm, int frame_bytes,
@@ -108,6 +147,23 @@ TransmissionOutcome Channel::Transmit(double tx_power_dbm, int frame_bytes,
       out.received = false;
       loss_rng_.NextDouble();  // keep draw count stable
       return out;
+    }
+  }
+  // Collision with a real concurrent node (shared medium): same window, but
+  // the jammer's power is the actual registered sink-side RSSI of the
+  // strongest overlapping frame, not a configured constant.
+  if (medium_ != nullptr) {
+    if (const auto strongest =
+            medium_->StrongestOverlapDbm(start, now, node_id_)) {
+      out.collided = true;
+      const bool captured =
+          out.rssi_dbm - *strongest >= medium_->CaptureMarginDb();
+      medium_->NoteCollision(captured);
+      if (!captured) {
+        out.received = false;
+        loss_rng_.NextDouble();  // keep draw count stable
+        return out;
+      }
     }
   }
   const double p_success = ber_->FrameSuccessProbability(out.snr_db, frame_bytes);

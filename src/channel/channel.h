@@ -10,6 +10,7 @@
 
 #include "channel/ber.h"
 #include "channel/interferer.h"
+#include "channel/medium.h"
 #include "channel/mobility.h"
 #include "channel/noise.h"
 #include "channel/path_loss.h"
@@ -50,6 +51,11 @@ struct ChannelConfig {
   /// that the paper's Fig. 6 shows (the calibrated BER curve alone is only
   /// valid inside the grey zone and above).
   double preamble_snr_db = 3.0;
+
+  /// Throws std::invalid_argument with a field-naming message when the
+  /// configuration is inconsistent (distance, mobility bounds). Called by
+  /// the Channel constructor; exposed so option mappers can fail early.
+  void Validate() const;
 };
 
 /// Outcome of one frame transmission attempt over the channel.
@@ -102,8 +108,35 @@ class Channel {
   /// the MAC's CCA). Time must be non-decreasing across all channel calls.
   double SampleNoiseFloorDbm(sim::Time now);
 
-  /// True if energy above the CCA threshold is present (interference burst).
+  /// True if energy above the CCA threshold is present (interference burst,
+  /// synthetic interferer, or — with a medium attached — a concurrent
+  /// frame from another node).
   bool CcaBusy(sim::Time now);
+
+  /// Joins a shared multi-transmitter medium as `node_id`. The medium must
+  /// outlive the channel. All medium queries are RNG-free, so attaching
+  /// never perturbs this channel's random streams.
+  void AttachMedium(Medium* medium, int node_id) noexcept {
+    medium_ = medium;
+    node_id_ = node_id;
+  }
+
+  /// True when this channel senses real concurrent transmitters (a medium
+  /// is attached). MACs use this to disable single-user fast paths.
+  [[nodiscard]] bool ContendedMedium() const noexcept {
+    return medium_ != nullptr;
+  }
+
+  /// True when another node's frame is on the air at `now` (always false
+  /// without a medium). RNG-free, unlike CcaBusy.
+  bool MediumBusy(sim::Time now) {
+    return medium_ != nullptr && medium_->BusyAt(now, node_id_);
+  }
+
+  /// Announces a frame this node radiates over [start, end) to the shared
+  /// medium (no-op without one). The registered sink-side power is the mean
+  /// RSSI at the start-of-frame geometry — deliberately RNG-free.
+  void BeginTransmission(double tx_power_dbm, sim::Time start, sim::Time end);
 
   [[nodiscard]] const ChannelConfig& Config() const noexcept { return config_; }
   [[nodiscard]] const BerModel& Ber() const noexcept { return *ber_; }
@@ -118,6 +151,8 @@ class Channel {
   MobilityModel mobility_;
   util::Rng loss_rng_;  // per-frame delivery coin flips
   util::Rng lqi_rng_;   // LQI measurement noise
+  Medium* medium_ = nullptr;  // shared air (multi-node runs only)
+  int node_id_ = 0;
 
   /// Memoised path-loss RSSI (path loss + spatial offset) for the last
   /// (tx power, distance) pair. Transmit() recomputes the same log10 every

@@ -27,6 +27,7 @@ LinkLayer::LinkLayer(sim::Simulator& simulator, mac::Mac& mac,
 void LinkLayer::AttachTrace(const trace::TraceContext& ctx) {
   tracer_ = ctx.tracer;
   counters_ = ctx.counters;
+  node_ = ctx.node;
   queue_.AttachCounters(ctx.counters);
   if (counters_ != nullptr) {
     id_accepted_ = counters_->Register("link.accepted");
@@ -48,7 +49,8 @@ bool LinkLayer::Accept(std::uint64_t packet_id, int payload_bytes) {
   if (tracer_ != nullptr) {
     tracer_->Emit({sim_.Now(), trace::EventType::kPacketArrival,
                    trace::Layer::kLink, packet_id,
-                   record.queue_depth_at_arrival, payload_bytes, 0.0});
+                   record.queue_depth_at_arrival, payload_bytes, 0.0,
+                   node_});
   }
 
   QueuedPacket packet{packet_id, payload_bytes, sim_.Now()};
@@ -61,7 +63,7 @@ bool LinkLayer::Accept(std::uint64_t packet_id, int payload_bytes) {
     if (tracer_ != nullptr) {
       tracer_->Emit({sim_.Now(), trace::EventType::kQueueDrop,
                      trace::Layer::kLink, packet_id, queue_.Occupancy(), 0,
-                     0.0});
+                     0.0, node_});
     }
     return false;
   }
@@ -70,7 +72,7 @@ bool LinkLayer::Accept(std::uint64_t packet_id, int payload_bytes) {
   if (tracer_ != nullptr) {
     tracer_->Emit({sim_.Now(), trace::EventType::kQueueEnqueue,
                    trace::Layer::kLink, packet_id, queue_.Occupancy(), 0,
-                   0.0});
+                   0.0, node_});
   }
 
   open_records_.emplace_back(packet_id, log_.Packets().size() - 1);
@@ -93,7 +95,7 @@ void LinkLayer::ServeNext() {
   if (tracer_ != nullptr) {
     tracer_->Emit({sim_.Now(), trace::EventType::kServiceStart,
                    trace::Layer::kLink, head.id, queue_.Occupancy(),
-                   head.payload_bytes, 0.0});
+                   head.payload_bytes, 0.0, node_});
   }
 
   mac_.Send(head.id, head.payload_bytes,
@@ -125,7 +127,7 @@ void LinkLayer::OnSendDone(const mac::SendResult& result) {
                    trace::Layer::kLink, result.packet_id, result.tries,
                    (result.acked ? trace::kFlagAcked : 0) |
                        (result.delivered ? trace::kFlagDelivered : 0),
-                   result.tx_energy_uj});
+                   result.tx_energy_uj, node_});
   }
 
   queue_.FinishService();
@@ -137,7 +139,7 @@ void LinkLayer::OnDelivery(const mac::DeliveryInfo& info) {
   if (tracer_ != nullptr) {
     tracer_->Emit({info.received_at, trace::EventType::kPacketDelivered,
                    trace::Layer::kLink, info.packet_id, info.attempt,
-                   info.payload_bytes, info.rssi_dbm});
+                   info.payload_bytes, info.rssi_dbm, node_});
   }
   if (const OpenRecord* open = FindOpen(info.packet_id)) {
     PacketRecord& record = log_.MutablePacket(open->second);

@@ -70,6 +70,7 @@ class LinkLayer {
   // Observability (null = off).
   trace::Tracer* tracer_ = nullptr;
   trace::CounterRegistry* counters_ = nullptr;
+  std::int32_t node_ = 0;
   trace::CounterRegistry::Id id_accepted_ = 0;
   trace::CounterRegistry::Id id_queue_drops_ = 0;
   trace::CounterRegistry::Id id_served_ = 0;

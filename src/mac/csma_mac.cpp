@@ -25,6 +25,7 @@ CsmaMac::CsmaMac(sim::Simulator& simulator, channel::Channel& channel,
 void CsmaMac::AttachTrace(const trace::TraceContext& ctx) {
   tracer_ = ctx.tracer;
   counters_ = ctx.counters;
+  node_ = ctx.node;
   if (counters_ != nullptr) {
     id_sends_ = counters_->Register("mac.sends");
     id_tx_attempts_ = counters_->Register("mac.tx_attempts");
@@ -39,7 +40,7 @@ void CsmaMac::EmitRadioState(trace::RadioState state) {
   if (tracer_ != nullptr) {
     tracer_->Emit({sim_.Now(), trace::EventType::kRadioState,
                    trace::Layer::kPhy, packet_id_,
-                   static_cast<std::int64_t>(state), 0, 0.0});
+                   static_cast<std::int64_t>(state), 0, 0.0, node_});
   }
 }
 
@@ -64,7 +65,10 @@ void CsmaMac::Send(std::uint64_t packet_id, int payload_bytes,
   if (counters_ != nullptr) counters_->Add(id_sends_);
   EmitRadioState(trace::RadioState::kListen);
 
-  if (tracer_ == nullptr) {
+  // The collapsed fast path assumes this MAC is the channel's only user;
+  // with a shared medium attached, other nodes interleave channel state
+  // between our steps, so every hop must be a real event.
+  if (tracer_ == nullptr && !channel_.ContendedMedium()) {
     RunPacketFast();
     return;
   }
@@ -125,6 +129,7 @@ void CsmaMac::RunPacketFast() {
                        static_cast<std::uint64_t>(frame_bytes_));
       }
       const int attempt = tries_done_;
+      channel_.BeginTransmission(tx_dbm, t, t + phy::AirTime(frame_bytes_));
       t += phy::AirTime(frame_bytes_);
       const auto outcome = channel_.Transmit(tx_dbm, frame_bytes_, t);
 
@@ -205,7 +210,7 @@ void CsmaMac::DoCca(int cca_retries_left) {
   if (counters_ != nullptr) counters_->Add(id_cca_busy_);
   if (tracer_ != nullptr) {
     tracer_->Emit({sim_.Now(), trace::EventType::kCcaBusy, trace::Layer::kMac,
-                   packet_id_, cca_retries_left, 0, 0.0});
+                   packet_id_, cca_retries_left, 0, 0.0, node_});
   }
   if (cca_retries_left <= 0) {
     // Persistent interference: the attempt is consumed without a
@@ -234,9 +239,11 @@ void CsmaMac::TransmitFrame() {
   if (tracer_ != nullptr) {
     tracer_->Emit({sim_.Now(), trace::EventType::kTxAttemptStart,
                    trace::Layer::kMac, packet_id_, tries_done_, frame_bytes_,
-                   0.0});
+                   0.0, node_});
   }
   EmitRadioState(trace::RadioState::kTx);
+  channel_.BeginTransmission(phy::OutputPowerDbm(params_.pa_level), sim_.Now(),
+                             sim_.Now() + airtime);
 
   const int attempt = tries_done_;
   sim_.Schedule(airtime, [this, attempt] {
@@ -257,7 +264,7 @@ void CsmaMac::TransmitFrame() {
       if (tracer_ != nullptr) {
         tracer_->Emit({sim_.Now(), trace::EventType::kTxAttemptResult,
                        trace::Layer::kMac, packet_id_, attempt, 0,
-                       outcome.snr_db});
+                       outcome.snr_db, node_});
       }
       if (on_attempt_) on_attempt_(attempt_info);
       // Data frame lost: sender idles through the full ACK-wait window.
@@ -289,10 +296,10 @@ void CsmaMac::TransmitFrame() {
                      trace::Layer::kMac, packet_id_, attempt,
                      trace::kFlagDataReceived |
                          (ack.received ? trace::kFlagAckReceived : 0),
-                     outcome.snr_db});
+                     outcome.snr_db, node_});
       if (ack.received) {
         tracer_->Emit({sim_.Now(), trace::EventType::kAckReceived,
-                       trace::Layer::kMac, packet_id_, attempt, 0, 0.0});
+                       trace::Layer::kMac, packet_id_, attempt, 0, 0.0, node_});
       }
     }
     if (counters_ != nullptr && ack.received) counters_->Add(id_acks_received_);

@@ -57,7 +57,9 @@ class CsmaMac final : public Mac {
   [[nodiscard]] const MacParams& Params() const noexcept { return params_; }
 
   /// Cumulative count of CCA checks that found the channel busy.
-  [[nodiscard]] std::uint64_t CcaBusyCount() const noexcept { return cca_busy_; }
+  [[nodiscard]] std::uint64_t CcaBusyCount() const noexcept override {
+    return cca_busy_;
+  }
 
  private:
   void StartAttempt();
@@ -99,6 +101,7 @@ class CsmaMac final : public Mac {
   // Observability (null = off).
   trace::Tracer* tracer_ = nullptr;
   trace::CounterRegistry* counters_ = nullptr;
+  std::int32_t node_ = 0;
   trace::CounterRegistry::Id id_sends_ = 0;
   trace::CounterRegistry::Id id_tx_attempts_ = 0;
   trace::CounterRegistry::Id id_cca_busy_ = 0;

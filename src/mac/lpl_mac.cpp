@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "mac/csma_mac.h"  // kMaxCcaRetries
 #include "phy/cc2420.h"
 #include "phy/frame.h"
 #include "phy/timing.h"
@@ -44,9 +45,11 @@ LplMac::LplMac(sim::Simulator& simulator, channel::Channel& channel,
 void LplMac::AttachTrace(const trace::TraceContext& ctx) {
   tracer_ = ctx.tracer;
   counters_ = ctx.counters;
+  node_ = ctx.node;
   if (counters_ != nullptr) {
     id_sends_ = counters_->Register("mac.sends");
     id_trains_ = counters_->Register("mac.lpl_trains");
+    id_cca_busy_ = counters_->Register("mac.cca_busy");
     id_copies_ = counters_->Register("mac.lpl_copies");
     id_frames_decoded_ = counters_->Register("mac.frames_decoded");
     id_acks_received_ = counters_->Register("mac.acks_received");
@@ -101,17 +104,49 @@ void LplMac::StartTrain() {
   if (counters_ != nullptr) counters_->Add(id_trains_);
   if (tracer_ != nullptr) {
     tracer_->Emit({sim_.Now(), trace::EventType::kLplTrainStart,
-                   trace::Layer::kMac, packet_id_, trains_done_, 0, 0.0});
+                   trace::Layer::kMac, packet_id_, trains_done_, 0, 0.0,
+                   node_});
   }
-  // Short CSMA backoff, then the train runs for up to one wakeup interval
-  // plus a probe (guaranteeing the receiver's window is covered).
+  // Short CSMA backoff, then a carrier-sense check before the train.
   const auto backoff = static_cast<sim::Duration>(
       rng_.UniformInt(0, phy::kCongestionBackoffMax));
-  sim_.Schedule(backoff + phy::kTurnaroundTime, [this] {
-    const sim::Time deadline =
-        sim_.Now() + params_.wakeup_interval + params_.probe_duration;
-    SendCopy(deadline);
-  });
+  sim_.Schedule(backoff + phy::kTurnaroundTime,
+                [this] { TrainCca(kMaxCcaRetries); });
+}
+
+void LplMac::TrainCca(int retries_left) {
+  // Only the shared medium is sensed (MediumBusy is RNG-free): the solo
+  // LPL sender never sampled the channel before a train, and folding the
+  // noise/interferer legs in here would shift their renewal streams and
+  // break bit-identity of every existing single-link run.
+  if (!channel_.MediumBusy(sim_.Now())) {
+    BeginCopies();
+    return;
+  }
+  ++cca_busy_;
+  if (counters_ != nullptr) counters_->Add(id_cca_busy_);
+  if (tracer_ != nullptr) {
+    tracer_->Emit({sim_.Now(), trace::EventType::kCcaBusy, trace::Layer::kMac,
+                   packet_id_, retries_left, 0, 0.0, node_});
+  }
+  if (retries_left <= 0) {
+    // Persistent contention: transmit anyway — the train must cover the
+    // receiver's wakeup window or the packet has no chance at all, and the
+    // collision logic at the receiver decides what survives.
+    BeginCopies();
+    return;
+  }
+  const auto backoff = static_cast<sim::Duration>(
+      rng_.UniformInt(0, phy::kCongestionBackoffMax));
+  sim_.Schedule(backoff, [this, retries_left] { TrainCca(retries_left - 1); });
+}
+
+void LplMac::BeginCopies() {
+  // The train runs for up to one wakeup interval plus a probe
+  // (guaranteeing the receiver's window is covered).
+  const sim::Time deadline =
+      sim_.Now() + params_.wakeup_interval + params_.probe_duration;
+  SendCopy(deadline);
 }
 
 void LplMac::SendCopy(sim::Time train_deadline) {
@@ -128,8 +163,10 @@ void LplMac::SendCopy(sim::Time train_deadline) {
   if (tracer_ != nullptr) {
     tracer_->Emit({sim_.Now(), trace::EventType::kLplCopySent,
                    trace::Layer::kMac, packet_id_, trains_done_,
-                   copies_this_packet_, 0.0});
+                   copies_this_packet_, 0.0, node_});
   }
+  channel_.BeginTransmission(phy::OutputPowerDbm(params_.pa_level), sim_.Now(),
+                             sim_.Now() + airtime);
 
   sim_.Schedule(airtime, [this, train_deadline] {
     const double tx_dbm = phy::OutputPowerDbm(params_.pa_level);
@@ -139,7 +176,8 @@ void LplMac::SendCopy(sim::Time train_deadline) {
     if (decoded) {
       if (!receiver_latched_ && tracer_ != nullptr) {
         tracer_->Emit({sim_.Now(), trace::EventType::kLplReceiverWake,
-                       trace::Layer::kMac, packet_id_, trains_done_, 0, 0.0});
+                       trace::Layer::kMac, packet_id_, trains_done_, 0, 0.0,
+                       node_});
       }
       receiver_latched_ = true;
       delivered_any_ = true;
@@ -162,7 +200,8 @@ void LplMac::SendCopy(sim::Time train_deadline) {
         if (counters_ != nullptr) counters_->Add(id_acks_received_);
         if (tracer_ != nullptr) {
           tracer_->Emit({sim_.Now(), trace::EventType::kAckReceived,
-                         trace::Layer::kMac, packet_id_, trains_done_, 0, 0.0});
+                         trace::Layer::kMac, packet_id_, trains_done_, 0, 0.0,
+                         node_});
         }
         if (on_attempt_) {
           AttemptInfo info;

@@ -77,12 +77,24 @@ class LplMac final : public Mac {
   /// Total copies radiated across all packets (diagnostics).
   [[nodiscard]] std::uint64_t CopiesSent() const noexcept { return copies_sent_; }
 
+  /// Carrier-sense checks that found another node's frame on the air
+  /// (always 0 without a shared medium: the solo LPL sender pre-dates
+  /// multi-node and samples nothing before a train).
+  [[nodiscard]] std::uint64_t CcaBusyCount() const noexcept override {
+    return cca_busy_;
+  }
+
  private:
   /// True if the receiver is awake at `t` (probe window each wakeup, plus
   /// it stays awake once a copy for the in-flight packet was decoded).
   [[nodiscard]] bool ReceiverAwake(sim::Time t) const;
 
   void StartTrain();
+  /// Medium-only carrier sense before the train's first copy. Without a
+  /// shared medium it falls straight through to SendCopy — no extra
+  /// events, no RNG draws — keeping single-link runs bit-identical.
+  void TrainCca(int retries_left);
+  void BeginCopies();
   void SendCopy(sim::Time train_deadline);
   void FinishTrain(bool acked);
   void Complete();
@@ -112,12 +124,15 @@ class LplMac final : public Mac {
   DoneCallback done_;
 
   std::uint64_t copies_sent_ = 0;
+  std::uint64_t cca_busy_ = 0;
 
   // Observability (null = off).
   trace::Tracer* tracer_ = nullptr;
   trace::CounterRegistry* counters_ = nullptr;
+  std::int32_t node_ = 0;
   trace::CounterRegistry::Id id_sends_ = 0;
   trace::CounterRegistry::Id id_trains_ = 0;
+  trace::CounterRegistry::Id id_cca_busy_ = 0;
   trace::CounterRegistry::Id id_copies_ = 0;
   trace::CounterRegistry::Id id_frames_decoded_ = 0;
   trace::CounterRegistry::Id id_acks_received_ = 0;

@@ -93,6 +93,13 @@ class Mac {
   /// Default: no instrumentation. The context's pointees must outlive the
   /// MAC; call before the first Send().
   virtual void AttachTrace(const trace::TraceContext& /*ctx*/) {}
+
+  /// Cumulative count of carrier-sense checks that found the channel busy
+  /// (also exported as the "mac.cca_busy" counter when one is attached).
+  /// Default 0 for MACs without carrier sensing.
+  [[nodiscard]] virtual std::uint64_t CcaBusyCount() const noexcept {
+    return 0;
+  }
 };
 
 }  // namespace wsnlink::mac

@@ -1,0 +1,75 @@
+// One sender stack of a (possibly multi-node) simulation.
+//
+// Extracted from the inline assembly that RunLinkSimulation used to do for
+// exactly one link: channel (from the config's distance), MAC (CSMA or
+// LPL), bounded queue + link layer, traffic source and per-node sink, all
+// driven by a shared discrete-event kernel. Each stack owns a private RNG
+// lineage and counter registry, so N stacks on one simulator stay
+// independent everywhere except the air they share (channel::Medium).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "app/sink.h"
+#include "app/traffic_gen.h"
+#include "channel/channel.h"
+#include "channel/medium.h"
+#include "link/link_layer.h"
+#include "mac/mac.h"
+#include "node/link_simulation.h"
+#include "sim/simulator.h"
+#include "trace/counters.h"
+#include "util/rng.h"
+
+namespace wsnlink::node {
+
+/// A fully wired sender→sink stack on a shared simulator.
+class NodeStack {
+ public:
+  /// Builds the stack exactly as the single-link simulation does: channel,
+  /// MAC, link queue and traffic source derive their streams from `root`
+  /// with the historical labels, so a stack built from the run's root RNG
+  /// reproduces the pre-refactor run bit for bit. `medium` may be null
+  /// (uncontended); when set, the channel joins it as `node_id`.
+  /// `options` must already be validated; `simulator` and `medium` must
+  /// outlive the stack.
+  NodeStack(sim::Simulator& simulator, const SimulationOptions& options,
+            util::Rng root, channel::Medium* medium, int node_id);
+
+  NodeStack(const NodeStack&) = delete;
+  NodeStack& operator=(const NodeStack&) = delete;
+
+  /// Attaches the run's tracer and (when `collect_counters`) this node's
+  /// private registry to every layer, stamping events with the node id.
+  /// Call before Start().
+  void AttachTrace(trace::Tracer* tracer, bool collect_counters);
+
+  /// Schedules the traffic source's first packet.
+  void Start();
+
+  /// Extracts this node's results after the simulator has run. Moves the
+  /// packet log out; call once. `end_time`/`events_executed` are the shared
+  /// kernel's values (every node reports the same run envelope).
+  [[nodiscard]] SimulationResult Harvest(sim::Time end_time,
+                                         std::uint64_t events_executed);
+
+  [[nodiscard]] int NodeId() const noexcept { return node_id_; }
+  [[nodiscard]] const channel::Channel& Link() const noexcept {
+    return *channel_;
+  }
+
+ private:
+  SimulationOptions options_;
+  int node_id_;
+  std::unique_ptr<channel::Channel> channel_;
+  std::unique_ptr<mac::Mac> mac_;
+  std::unique_ptr<link::LinkLayer> link_;
+  app::PacketSink sink_;
+  std::unique_ptr<app::TrafficGenerator> generator_;
+  trace::CounterRegistry registry_;
+  bool collect_counters_ = false;
+  double receiver_idle_duty_ = 1.0;
+};
+
+}  // namespace wsnlink::node

@@ -29,9 +29,13 @@ std::string FormatUint(std::uint64_t v) {
   return buf;
 }
 
-/// The common "pid":1,"tid":<layer> tail shared by every trace record.
-void AppendPidTid(std::string& out, Layer layer) {
-  out += "\"pid\":1,\"tid\":";
+/// The common "pid":<node+1>,"tid":<layer> tail shared by every trace
+/// record. Each node renders as its own process so chrome://tracing groups
+/// the per-node layer rows; node 0 keeps the historical pid 1.
+void AppendPidTid(std::string& out, Layer layer, std::int32_t node = 0) {
+  out += "\"pid\":";
+  out += FormatInt(static_cast<std::int64_t>(node) + 1);
+  out += ",\"tid\":";
   out += FormatInt(static_cast<std::int64_t>(layer));
 }
 
@@ -67,10 +71,23 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
   out.reserve(events.size() * 120 + 1024);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
 
-  // Metadata: name the process and one thread row per layer.
+  // Metadata: one process row per node present in the stream (node 0 is
+  // always named so empty traces keep the historical preamble), one thread
+  // row per layer under node 0.
+  std::int32_t max_node = 0;
+  for (const TraceEvent& e : events) {
+    if (e.node > max_node) max_node = e.node;
+  }
   out +=
       "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
       "\"args\":{\"name\":\"wsnlink\"}}";
+  for (std::int32_t node = 1; node <= max_node; ++node) {
+    out += ",\n{\"ph\":\"M\",\"pid\":";
+    out += FormatInt(static_cast<std::int64_t>(node) + 1);
+    out += ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"node-";
+    out += FormatInt(node);
+    out += "\"}}";
+  }
   for (const Layer layer : {Layer::kSim, Layer::kPhy, Layer::kMac, Layer::kLink,
                             Layer::kApp}) {
     out += ",\n{\"ph\":\"M\",";
@@ -95,7 +112,7 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
       out += ",\"name\":\"service\",\"ts\":";
       out += FormatInt(e.at);
       out += ",";
-      AppendPidTid(out, e.layer);
+      AppendPidTid(out, e.layer, e.node);
       out += ",";
       AppendEventArgs(out, e);
       out += "}";
@@ -106,7 +123,7 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
     out += "\",\"ts\":";
     out += FormatInt(e.at);
     out += ",";
-    AppendPidTid(out, e.layer);
+    AppendPidTid(out, e.layer, e.node);
     out += ",";
     AppendEventArgs(out, e);
     out += "}";
@@ -137,11 +154,12 @@ void WriteChromeTraceJson(const std::string& path,
 }
 
 std::vector<std::string> TraceCsvHeaders() {
-  return {"t_us", "layer", "event", "packet_id", "arg0", "arg1", "value"};
+  return {"t_us", "layer", "event", "packet_id", "arg0", "arg1", "value",
+          "node"};
 }
 
 std::string TraceCsv(const std::vector<TraceEvent>& events) {
-  std::string out = "t_us,layer,event,packet_id,arg0,arg1,value\n";
+  std::string out = "t_us,layer,event,packet_id,arg0,arg1,value,node\n";
   out.reserve(out.size() + events.size() * 64);
   for (const TraceEvent& e : events) {
     out += FormatInt(e.at);
@@ -157,6 +175,8 @@ std::string TraceCsv(const std::vector<TraceEvent>& events) {
     out += FormatInt(e.arg1);
     out += ',';
     out += FormatDouble(e.value);
+    out += ',';
+    out += FormatInt(e.node);
     out += '\n';
   }
   return out;

@@ -104,6 +104,11 @@ struct TraceEvent {
   std::int64_t arg0 = 0;
   std::int64_t arg1 = 0;
   double value = 0.0;
+  /// Which node's stack emitted the event (0 in single-link runs). Last
+  /// member so layers that predate multi-node can keep their 7-field
+  /// aggregate literals; the scoped value is stamped by the emitting layer
+  /// from its TraceContext.
+  std::int32_t node = 0;
 
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
@@ -162,6 +167,9 @@ class Tracer {
 struct TraceContext {
   Tracer* tracer = nullptr;
   CounterRegistry* counters = nullptr;
+  /// Node id stamped into emitted events (multi-node runs attach one
+  /// context per stack; single-link runs keep the default 0).
+  std::int32_t node = 0;
 
   [[nodiscard]] bool Active() const noexcept {
     return tracer != nullptr || counters != nullptr;
