@@ -20,6 +20,7 @@
 #include <fstream>
 #include <new>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -97,13 +98,26 @@ std::uint64_t SumEventsExecuted(
 }
 
 // Pulls `"key": <number>` out of a JSON file written by this tool. Crude
-// on purpose: the bench owns both sides of the format.
+// on purpose: the bench owns both sides of the format. Returns -1 when the
+// key is missing or its value is not a plain finite number, so a corrupt
+// baseline trips the caller's "no baseline metric" error instead of
+// silently comparing against garbage.
 double JsonNumber(const std::string& text, const std::string& key) {
   const auto pos = text.find("\"" + key + "\"");
   if (pos == std::string::npos) return -1.0;
   const auto colon = text.find(':', pos);
   if (colon == std::string::npos) return -1.0;
-  return std::strtod(text.c_str() + colon + 1, nullptr);
+  auto begin = text.find_first_not_of(" \t\n", colon + 1);
+  if (begin == std::string::npos) return -1.0;
+  auto end = text.find_first_of(",\n}", begin);
+  if (end == std::string::npos) end = text.size();
+  const auto last = text.find_last_not_of(" \t", end - 1);
+  try {
+    return wsnlink::util::ParseDouble(text.substr(begin, last - begin + 1),
+                                      key);
+  } catch (const std::invalid_argument&) {
+    return -1.0;
+  }
 }
 
 void WriteJson(const std::string& path, const BenchResult& r,

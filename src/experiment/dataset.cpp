@@ -100,6 +100,8 @@ std::vector<link::AttemptRecord> ReadAttemptLogCsv(const std::string& path) {
     records[i].at = static_cast<sim::Time>(at[i]);
     records[i].rssi_dbm = rssi[i];
     records[i].snr_db = snr[i];
+    // wsnlint:allow(no-float-eq): 0/1 flag columns parse to exactly 0.0 or
+    // 1.0, so != 0.0 is the precise decode, not a tolerance bug.
     records[i].data_received = received[i] != 0.0;
     records[i].acked = acked[i] != 0.0;
   }

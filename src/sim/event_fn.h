@@ -8,6 +8,10 @@
 // couple of scalars. EventFn stores such callables inline (48 bytes) with a
 // single manager function for move/destroy, falling back to the heap only
 // for oversized captures so the API stays general.
+//
+// wsnlint:allow(no-naked-new): the heap fallback is the type-erased storage
+// itself — ownership is encoded in manage_(Op::kDestroy), which unique_ptr
+// cannot express through a void* buffer.
 #pragma once
 
 #include <cstddef>

@@ -1,6 +1,7 @@
 #include "util/args.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace wsnlink::util {
@@ -95,6 +96,22 @@ int ParsePositiveInt(const std::string& value, const std::string& what) {
   if (consumed != value.size() || parsed < 1) {
     throw std::invalid_argument("bad positive integer for " + what + ": '" +
                                 value + "'");
+  }
+  return parsed;
+}
+
+double ParseDouble(const std::string& value, const std::string& what) {
+  std::size_t consumed = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad number for " + what + ": '" + value +
+                                "'");
+  }
+  if (consumed != value.size() || !std::isfinite(parsed)) {
+    throw std::invalid_argument("bad number for " + what + ": '" + value +
+                                "'");
   }
   return parsed;
 }

@@ -61,4 +61,11 @@ class Args {
 [[nodiscard]] int ParsePositiveInt(const std::string& value,
                                    const std::string& what);
 
+/// Parses a finite double from the *entire* string ("1.5", "-3e2"); "" /
+/// "abc" / "1.5x" / "nan" / "inf" all throw std::invalid_argument naming
+/// `what`. The validated replacement for raw std::strtod/atof (both
+/// silently accept trailing garbage and non-finite values).
+[[nodiscard]] double ParseDouble(const std::string& value,
+                                 const std::string& what);
+
 }  // namespace wsnlink::util

@@ -55,5 +55,28 @@ TEST(Args, SwitchBeforeValueFlagNotConfused) {
   ASSERT_EQ(args.Positional().size(), 1u);
 }
 
+TEST(Args, ParsePositiveIntWholeStringOnly) {
+  EXPECT_EQ(ParsePositiveInt("3", "packets"), 3);
+  EXPECT_EQ(ParsePositiveInt("120", "packets"), 120);
+  for (const char* bad : {"", "abc", "3x", "0", "-2", "1.5"}) {
+    EXPECT_THROW((void)ParsePositiveInt(bad, "packets"),
+                 std::invalid_argument)
+        << "accepted '" << bad << "'";
+  }
+}
+
+TEST(Args, ParseDoubleWholeFiniteStringOnly) {
+  EXPECT_DOUBLE_EQ(ParseDouble("1.5", "tolerance"), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-3e2", "tolerance"), -300.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("42", "tolerance"), 42.0);
+  // Raw strtod/atof would accept the first three of these (trailing junk)
+  // and the non-finite spellings; the validated parser throws on all.
+  for (const char* bad : {"1.5x", "12abc", "7,", "", "abc", "nan", "inf",
+                          "-inf"}) {
+    EXPECT_THROW((void)ParseDouble(bad, "tolerance"), std::invalid_argument)
+        << "accepted '" << bad << "'";
+  }
+}
+
 }  // namespace
 }  // namespace wsnlink::util

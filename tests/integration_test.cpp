@@ -151,8 +151,14 @@ INSTANTIATE_TEST_SUITE_P(
                       LinkPoint{30.0, 15}, LinkPoint{30.0, 11},
                       LinkPoint{35.0, 15}, LinkPoint{35.0, 11}),
     [](const ::testing::TestParamInfo<LinkPoint>& info) {
-      return "d" + std::to_string(static_cast<int>(info.param.distance_m)) +
-             "_p" + std::to_string(info.param.pa_level);
+      // Built with += rather than an operator+ chain: GCC 12's -O3
+      // inliner raises a bogus -Wrestrict on `const char* + string&&`
+      // (PR105651), which the -Werror checked build would promote.
+      std::string name = "d";
+      name += std::to_string(static_cast<int>(info.param.distance_m));
+      name += "_p";
+      name += std::to_string(info.param.pa_level);
+      return name;
     });
 
 // -------------------------------------------- payload-size properties ----

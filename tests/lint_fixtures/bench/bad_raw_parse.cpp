@@ -1,0 +1,11 @@
+// Fixture: raw numeric parsing in a CLI harness. atoi returns 0 on garbage
+// and strtod accepts trailing junk — rule no-raw-parse pushes both through
+// the validated util parsers instead.
+#include <cstdlib>
+#include <string>
+
+int PacketCount(const char* arg) { return atoi(arg); }
+
+double Tolerance(const std::string& arg) {
+  return std::strtod(arg.c_str(), nullptr);
+}

@@ -1,0 +1,13 @@
+// Fixture: the approved parsing path for CLI harnesses — whole-string
+// validated helpers that throw on garbage instead of truncating it.
+#include <string>
+
+#include "util/args.h"
+
+int PacketCount(const std::string& arg) {
+  return wsnlink::util::ParsePositiveInt(arg, "packets");
+}
+
+double Tolerance(const std::string& arg) {
+  return wsnlink::util::ParseDouble(arg, "tolerance");
+}

@@ -1,0 +1,12 @@
+// Fixture: the escape hatch used correctly — a justified file-scope allow
+// suppresses the naked-new findings below, and because it suppresses
+// something it is not stale. This file must lint clean.
+//
+// wsnlint:allow(no-naked-new): fixture exercising a justified suppression.
+struct Arena {
+  int* base;
+};
+
+Arena MakeArena(int n) { return Arena{new int[n]}; }
+
+void FreeArena(Arena& a) { delete[] a.base; }

@@ -1,0 +1,8 @@
+// Fixture: every way to misuse the escape hatch. An allow without a
+// justification, an allow for a rule id that does not exist, and a
+// justified allow that suppresses nothing (stale).
+//
+// wsnlint:allow(no-wallclock)
+// wsnlint:allow(no-such-rule): typo'd rule ids must be caught
+// wsnlint:allow(no-raw-parse): nothing in this file parses numbers
+int Answer() { return 42; }

@@ -1,0 +1,7 @@
+// Fixture: exact floating-point comparisons against literals, in both
+// orders and with an exponent form — all no-float-eq findings.
+bool AtOrigin(double x) { return x == 0.0; }
+
+bool IsUnit(double gain) { return 1.0 == gain; }
+
+bool Converged(double delta) { return delta != 1e-9; }

@@ -1,0 +1,11 @@
+// Fixture: header missing #pragma once and leaking a namespace into every
+// includer — both header-hygiene findings. Also the --fix corpus: the fix
+// must insert the pragma after this comment block and stay idempotent.
+
+#include <string>
+
+using namespace std;
+
+struct BadHeaderFixture {
+  string name;
+};

@@ -1,0 +1,9 @@
+// Fixture: manual ownership in src/ — naked new and delete, the leak-by-
+// early-return pattern rule no-naked-new bans.
+struct Buffer {
+  int* data;
+};
+
+Buffer MakeBuffer(int n) { return Buffer{new int[n]}; }
+
+void FreeBuffer(Buffer& b) { delete[] b.data; }

@@ -1,0 +1,13 @@
+// Fixture: iterating an unordered_map while writing CSV output — the exact
+// hash-order nondeterminism bug rule no-unordered-output exists for.
+#include <string>
+#include <unordered_map>
+
+#include "util/csv.h"
+
+void DumpCounters(const std::unordered_map<std::string, int>& counters,
+                  wsnlink::util::CsvWriter& out) {
+  for (const auto& [name, value] : counters) {
+    out.WriteRow({name, std::to_string(value)});
+  }
+}

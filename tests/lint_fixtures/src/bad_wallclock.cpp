@@ -1,0 +1,11 @@
+// Fixture: every way of smuggling wall-clock time or ambient entropy into
+// the simulator that rule no-wallclock must catch.
+#include <chrono>
+#include <cstdlib>
+
+int JitterSeed() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<int>(now.count()) + std::rand();
+}
+
+long Stamp() { return time(nullptr); }

@@ -1,0 +1,11 @@
+// Fixture: the approved way to consume randomness — a seeded generator
+// derived through the lineage API. Mentions of std::rand() in comments or
+// "std::rand()" in string literals must not trip the rule.
+#include "util/rng.h"
+
+double NoiseSample(const wsnlink::util::Rng& parent) {
+  auto rng = parent.Derive("noise-floor");
+  return rng.Gaussian(0.0, 1.0);
+}
+
+const char* kDocs = "never call std::rand() or steady_clock in src/";

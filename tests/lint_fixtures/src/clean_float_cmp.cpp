@@ -1,0 +1,9 @@
+// Fixture: tolerance-based comparison, integer equality, and a digit
+// separator (1'000'000) — none of which may trip no-float-eq.
+#include <cmath>
+
+bool NearlyEqual(double a, double b) { return std::fabs(a - b) < 1e-9; }
+
+bool IsMillion(long x) { return x == 1'000'000; }
+
+bool BelowHalf(double x) { return x <= 0.5; }

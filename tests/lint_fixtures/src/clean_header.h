@@ -1,0 +1,9 @@
+// Fixture: hygienic header — #pragma once is the first directive, no
+// using-namespace at file scope.
+#pragma once
+
+#include <string>
+
+struct CleanHeaderFixture {
+  std::string name;
+};

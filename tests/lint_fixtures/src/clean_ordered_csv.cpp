@@ -1,0 +1,13 @@
+// Fixture: same export shape as bad_unordered_csv.cpp but over std::map,
+// whose iteration order is the key order — deterministic output bytes.
+#include <map>
+#include <string>
+
+#include "util/csv.h"
+
+void DumpCounters(const std::map<std::string, int>& counters,
+                  wsnlink::util::CsvWriter& out) {
+  for (const auto& [name, value] : counters) {
+    out.WriteRow({name, std::to_string(value)});
+  }
+}

@@ -1,0 +1,18 @@
+// Fixture: owning types instead of naked new/delete. Placement new, a
+// deleted copy constructor, and "new" inside comments/strings are all
+// legitimate and must not be flagged.
+#include <memory>
+#include <new>
+
+struct Pool {
+  Pool() = default;
+  Pool(const Pool&) = delete;
+  alignas(8) unsigned char slot[64];
+
+  // Starts a new object in the slot (placement new is fine).
+  void Emplace() { ::new (static_cast<void*>(slot)) int(0); }
+};
+
+std::unique_ptr<Pool> MakePool() { return std::make_unique<Pool>(); }
+
+const char* kDocs = "naked new int[3] in a string literal is not code";

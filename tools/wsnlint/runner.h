@@ -1,0 +1,41 @@
+// Filesystem driver for wsnlint: walks the requested directories, builds a
+// FileContext per C++ source file, and aggregates findings. Kept separate
+// from rules.cpp so tests can lint in-memory snippets without touching disk
+// and so the CLI stays a thin shell.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace wsnlint {
+
+struct Options {
+  // Directory all reported paths are made relative to (and that `paths` are
+  // resolved against). Defaults to the current working directory.
+  std::string root = ".";
+  // Files or directories to lint, relative to `root`. Directories are
+  // walked recursively for .h/.cpp/.cc files. Empty means the default scan
+  // set: src, bench, examples, tests, tools.
+  std::vector<std::string> paths;
+  // Apply mechanical fixes in place (currently: missing #pragma once).
+  bool fix = false;
+};
+
+struct RunResult {
+  std::vector<Finding> findings;
+  int files_scanned = 0;
+  int files_fixed = 0;
+};
+
+/// True if `relative_path` is excluded from scanning: lint-rule fixtures
+/// (which contain violations on purpose), golden files, build trees, and
+/// version-control internals.
+[[nodiscard]] bool IsExcluded(const std::string& relative_path);
+
+/// Lints (and with `options.fix` rewrites) every matching file.
+/// Throws std::runtime_error when a requested path does not exist.
+[[nodiscard]] RunResult Run(const Options& options);
+
+}  // namespace wsnlint

@@ -1,0 +1,194 @@
+#include "source_scanner.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace wsnlint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+ScanResult ScanSource(const std::string& content) {
+  ScanResult result;
+  result.code = content;
+  std::string& code = result.code;
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+
+  State state = State::kCode;
+  int line = 1;
+  bool line_is_preprocessor = false;  // current line starts with '#'
+  bool line_seen_code = false;        // any non-ws code char on this line yet
+  std::string raw_delim;              // delimiter of the active raw string
+  Comment current;                    // comment being accumulated
+
+  auto flush_comment = [&]() {
+    result.comments.push_back(current);
+    current = Comment{};
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+
+    if (c == '\n') {
+      ++line;
+      if (state == State::kLineComment) {
+        flush_comment();
+        state = State::kCode;
+      } else if (state == State::kBlockComment) {
+        current.text += '\n';
+      } else if (state == State::kString || state == State::kChar) {
+        // Unterminated literal at end of line: recover rather than eat the
+        // rest of the file (a syntax error the compiler will report anyway).
+        state = State::kCode;
+      }
+      line_is_preprocessor = false;
+      line_seen_code = false;
+      continue;
+    }
+
+    switch (state) {
+      case State::kCode: {
+        if (!line_seen_code && !std::isspace(static_cast<unsigned char>(c))) {
+          line_seen_code = true;
+          line_is_preprocessor = (c == '#');
+        }
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          current.line = line;
+          code[i] = ' ';
+          code[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          current.line = line;
+          code[i] = ' ';
+          code[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsIdentChar(content[i - 1]))) {
+          // R"delim( ... )delim"
+          raw_delim.clear();
+          std::size_t j = i + 2;
+          while (j < content.size() && content[j] != '(') {
+            raw_delim += content[j];
+            ++j;
+          }
+          state = State::kRawString;
+          for (std::size_t k = i; k < j && k < content.size(); ++k) {
+            code[k] = ' ';
+          }
+          if (j < content.size()) code[j] = ' ';
+          i = j;  // positioned at '(' (loop ++ moves past it)
+        } else if (c == '"') {
+          if (!line_is_preprocessor) {
+            state = State::kString;
+            code[i] = ' ';
+          }
+          // On a preprocessor line (#include "path") the quoted part stays
+          // visible: include-based rules match on it.
+        } else if (c == '\'') {
+          // A ' preceded by an identifier character is a digit separator
+          // (1'000'000) or a literal suffix position, not a char literal.
+          if (i == 0 || !IsIdentChar(content[i - 1])) {
+            state = State::kChar;
+            code[i] = ' ';
+          }
+        }
+        break;
+      }
+      case State::kLineComment:
+        current.text += c;
+        code[i] = ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          flush_comment();
+          state = State::kCode;
+          code[i] = ' ';
+          code[i + 1] = ' ';
+          ++i;
+        } else {
+          current.text += c;
+          code[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          code[i] = ' ';
+          code[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          code[i] = ' ';
+          state = State::kCode;
+        } else {
+          code[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          code[i] = ' ';
+          code[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          code[i] = ' ';
+          state = State::kCode;
+        } else {
+          code[i] = ' ';
+        }
+        break;
+      case State::kRawString: {
+        // Look for )delim"
+        if (c == ')' &&
+            content.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            i + 1 + raw_delim.size() < content.size() &&
+            content[i + 1 + raw_delim.size()] == '"') {
+          const std::size_t end = i + 1 + raw_delim.size();
+          for (std::size_t k = i; k <= end; ++k) code[k] = ' ';
+          // Raw strings may span lines; recount the ones we skipped over.
+          for (std::size_t k = i; k <= end; ++k) {
+            if (content[k] == '\n') ++line;
+          }
+          i = end;
+          state = State::kCode;
+        } else if (c != '\n') {
+          code[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  if (state == State::kLineComment || state == State::kBlockComment) {
+    flush_comment();
+  }
+  return result;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+}  // namespace wsnlint

@@ -1,0 +1,43 @@
+// Lexical pre-pass for wsnlint: turns a C++ source file into a "code view"
+// where comment and string-literal contents are blanked out (replaced by
+// spaces, preserving line/column positions) so the rule regexes never match
+// text inside comments or literals. Comments are collected separately so
+// the runner can parse `wsnlint:allow(...)` suppression directives.
+//
+// This is a token-level scanner, not a parser: it understands //, /* */,
+// "..." with escapes, '...' char literals, digit separators (1'000'000),
+// and R"delim(...)delim" raw strings — enough to be exact about what is
+// code and what is not, which is all the rules need.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wsnlint {
+
+/// One comment extracted from the source, with the 1-based line where it
+/// starts. Block comments spanning multiple lines appear once, at their
+/// starting line, with newlines preserved in `text`.
+struct Comment {
+  int line = 0;
+  std::string text;  // contents without the // or /* */ markers
+};
+
+/// Result of scanning one file.
+struct ScanResult {
+  // Same length as the input; comments and string/char-literal contents are
+  // replaced by spaces (newlines kept) so byte offsets and line numbers are
+  // identical to the original file. Quoted include paths on preprocessor
+  // lines are kept verbatim: rules need to see `#include "util/csv.h"`.
+  std::string code;
+  std::vector<Comment> comments;
+};
+
+/// Scans `content` (the raw bytes of a source file).
+[[nodiscard]] ScanResult ScanSource(const std::string& content);
+
+/// Splits text into lines (without trailing '\n'). A trailing newline does
+/// not produce an extra empty line.
+[[nodiscard]] std::vector<std::string> SplitLines(const std::string& text);
+
+}  // namespace wsnlint

@@ -1,0 +1,77 @@
+// wsnlint — the repo's determinism/portability linter (docs/STATIC_ANALYSIS.md).
+//
+// Usage:
+//   wsnlint [--root DIR] [--fix] [--list-rules] [PATH...]
+//
+// PATHs (files or directories, relative to --root) default to the full scan
+// set: src bench examples tests tools. Exit status is 0 when clean, 1 when
+// there are findings, 2 on usage or I/O errors. Findings print as
+// `file:line:rule-id: message`, one per line, sorted — the same byte format
+// tests/lint_test.cpp locks with a golden.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "runner.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: wsnlint [--root DIR] [--fix] [--list-rules] "
+               "[PATH...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wsnlint::Options options;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fix") {
+      options.fix = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) {
+        PrintUsage();
+        return 2;
+      }
+      options.root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "wsnlint: unknown flag %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const wsnlint::RuleInfo& rule : wsnlint::Rules()) {
+      std::printf("%-20s %s\n", rule.id.c_str(), rule.summary.c_str());
+    }
+    return 0;
+  }
+
+  try {
+    const wsnlint::RunResult result = wsnlint::Run(options);
+    const std::string report = wsnlint::FormatFindings(result.findings);
+    std::fputs(report.c_str(), stdout);
+    if (options.fix && result.files_fixed > 0) {
+      std::fprintf(stderr, "wsnlint: fixed %d file(s)\n", result.files_fixed);
+    }
+    std::fprintf(stderr, "wsnlint: %d finding(s) in %d file(s)\n",
+                 static_cast<int>(result.findings.size()),
+                 result.files_scanned);
+    return result.findings.empty() ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 2;
+  }
+}
