@@ -8,13 +8,16 @@
 // Usage:
 //   run_campaign --stride 31 --packets 300 --out campaign.csv
 //   analyze_campaign campaign.csv
+#include <algorithm>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/fit/bootstrap.h"
 #include "core/models/validation.h"
 #include "experiment/analysis.h"
 #include "experiment/dataset.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -72,6 +75,34 @@ int main(int argc, char** argv) {
       core::models::ValidateModels(core::models::ModelSet(), samples);
   std::cout << "model validation (paper coefficients, SNR in [4, 28] dB):\n"
             << report.ToString() << "\n";
+
+  // ---- fleet delay quantiles ------------------------------------------
+  // Per-run delay quantiles (delay_p50_ms / delay_p99_ms / delay_max_ms
+  // columns) aggregated across every configuration that delivered data:
+  // the fleet-wide latency picture a deployment planner reads first.
+  std::vector<double> p50s;
+  std::vector<double> p99s;
+  double fleet_max_ms = 0.0;
+  for (const auto& p : points) {
+    if (p.measured.delivered_unique == 0) continue;
+    p50s.push_back(p.measured.delay_p50_ms);
+    p99s.push_back(p.measured.p99_delay_ms);
+    fleet_max_ms = std::max(fleet_max_ms, p.measured.delay_max_ms);
+  }
+  if (!p50s.empty()) {
+    std::sort(p50s.begin(), p50s.end());
+    std::sort(p99s.begin(), p99s.end());
+    std::cout << "fleet delay quantiles over " << p50s.size()
+              << " delivering configurations (ms):\n"
+              << "  per-run p50:  median "
+              << util::FormatDouble(util::Quantile(p50s, 0.5), 3) << "  worst "
+              << util::FormatDouble(p50s.back(), 3) << "\n"
+              << "  per-run p99:  median "
+              << util::FormatDouble(util::Quantile(p99s, 0.5), 3) << "  worst "
+              << util::FormatDouble(p99s.back(), 3) << "\n"
+              << "  fleet max:    " << util::FormatDouble(fleet_max_ms, 3)
+              << "\n\n";
+  }
 
   // ---- zone aggregates -------------------------------------------------
   const auto zones = experiment::SummariseByZone(points);

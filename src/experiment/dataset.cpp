@@ -1,9 +1,9 @@
 #include "experiment/dataset.h"
 
-#include <charconv>
 #include <fstream>
 #include <stdexcept>
 
+#include "util/args.h"
 #include "util/csv.h"
 #include "util/fault_injection.h"
 #include "util/table.h"
@@ -15,14 +15,14 @@ namespace {
 std::string Fmt(double v) { return util::FormatDouble(v, 6); }
 
 double CellToDouble(const std::string& cell) {
-  double v{};
-  const auto [ptr, ec] =
-      std::from_chars(cell.data(), cell.data() + cell.size(), v);
-  if (ec != std::errc() || ptr != cell.data() + cell.size()) {
-    throw std::runtime_error("ParseSummaryRow: non-numeric cell '" + cell +
-                             "'");
+  // util::ParseDouble is the one sanctioned numeric parser (wsnlint bans
+  // raw parsing outside src/util); rewrap its error so callers keep
+  // seeing the historical ParseSummaryRow runtime_error.
+  try {
+    return util::ParseDouble(cell, "summary cell");
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("ParseSummaryRow: ") + e.what());
   }
-  return v;
 }
 
 }  // namespace
@@ -113,7 +113,8 @@ std::vector<std::string> SummaryCsvHeaders() {
           "queue_cap",    "pkt_interval_ms", "payload_bytes", "mean_snr_db",
           "per",          "mean_tries_acked", "goodput_kbps", "energy_uj_per_bit",
           "mean_delay_ms", "mean_service_ms", "plr_queue",    "plr_radio",
-          "plr_total",    "utilization",   "generated",     "delivered"};
+          "plr_total",    "utilization",   "generated",     "delivered",
+          "delay_p50_ms", "delay_p99_ms",  "delay_max_ms"};
 }
 
 std::string SerializeSummaryRow(const SweepPoint& point) {
@@ -140,6 +141,9 @@ std::string SerializeSummaryRow(const SweepPoint& point) {
       Fmt(m.utilization),
       std::to_string(m.generated),
       std::to_string(m.delivered_unique),
+      Fmt(m.delay_p50_ms),
+      Fmt(m.p99_delay_ms),
+      Fmt(m.delay_max_ms),
   };
   std::string row;
   for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -178,6 +182,9 @@ SweepPoint ParseSummaryRow(const std::string& row) {
   p.measured.generated = static_cast<int>(CellToDouble(cells[18]));
   p.measured.delivered_unique =
       static_cast<std::uint64_t>(CellToDouble(cells[19]));
+  p.measured.delay_p50_ms = CellToDouble(cells[20]);
+  p.measured.p99_delay_ms = CellToDouble(cells[21]);
+  p.measured.delay_max_ms = CellToDouble(cells[22]);
   return p;
 }
 
@@ -243,6 +250,9 @@ std::vector<SweepPoint> ReadSummaryCsv(const std::string& path) {
   const auto util_col = data.NumericColumn("utilization");
   const auto generated = data.NumericColumn("generated");
   const auto delivered = data.NumericColumn("delivered");
+  const auto delay_p50 = data.NumericColumn("delay_p50_ms");
+  const auto delay_p99 = data.NumericColumn("delay_p99_ms");
+  const auto delay_max = data.NumericColumn("delay_max_ms");
 
   std::vector<SweepPoint> points(data.rows.size());
   for (std::size_t i = 0; i < data.rows.size(); ++i) {
@@ -267,6 +277,9 @@ std::vector<SweepPoint> ReadSummaryCsv(const std::string& path) {
     p.measured.utilization = util_col[i];
     p.measured.generated = static_cast<int>(generated[i]);
     p.measured.delivered_unique = static_cast<std::uint64_t>(delivered[i]);
+    p.measured.delay_p50_ms = delay_p50[i];
+    p.measured.p99_delay_ms = delay_p99[i];
+    p.measured.delay_max_ms = delay_max[i];
   }
   return points;
 }

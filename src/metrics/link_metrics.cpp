@@ -69,6 +69,8 @@ LinkMetrics ComputeMetrics(const node::SimulationResult& result,
   m.mean_queue_wait_ms = queue_wait_ms.Empty() ? 0.0 : queue_wait_ms.Mean();
   m.mean_delay_ms = delay_ms.Empty() ? 0.0 : delay_ms.Mean();
   m.p99_delay_ms = delays.empty() ? 0.0 : util::Quantile(delays, 0.99);
+  m.delay_p50_ms = delays.empty() ? 0.0 : util::Quantile(delays, 0.5);
+  m.delay_max_ms = delay_ms.Empty() ? 0.0 : delay_ms.Max();
 
   // --- goodput / energy ---
   const double unique_bits =

@@ -42,6 +42,10 @@ struct LinkMetrics {
   double mean_queue_wait_ms = 0.0;
   /// 99th-percentile delay, ms (0 when nothing delivered).
   double p99_delay_ms = 0.0;
+  /// Median delay, ms (0 when nothing delivered).
+  double delay_p50_ms = 0.0;
+  /// Worst observed delay, ms (0 when nothing delivered).
+  double delay_max_ms = 0.0;
 
   /// Loss decomposition.
   double plr_queue = 0.0;

@@ -96,6 +96,77 @@ double Quantile(std::span<const double> xs, double p) {
 
 double Median(std::span<const double> xs) { return Quantile(xs, 0.5); }
 
+double EmpiricalCdf(std::span<const double> sorted_xs, double t) {
+  if (sorted_xs.empty()) {
+    throw std::invalid_argument("EmpiricalCdf of empty span");
+  }
+  const auto at_most =
+      std::upper_bound(sorted_xs.begin(), sorted_xs.end(), t) -
+      sorted_xs.begin();
+  return static_cast<double>(at_most) / static_cast<double>(sorted_xs.size());
+}
+
+double EmpiricalCcdf(std::span<const double> sorted_xs, double t) {
+  return 1.0 - EmpiricalCdf(sorted_xs, t);
+}
+
+double DkwEpsilon(std::size_t n, double confidence) {
+  if (n == 0) throw std::invalid_argument("DkwEpsilon: n must be >= 1");
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("DkwEpsilon: confidence must be in (0, 1)");
+  }
+  const double alpha = 1.0 - confidence;
+  return std::sqrt(std::log(2.0 / alpha) / (2.0 * static_cast<double>(n)));
+}
+
+ConfidenceInterval DkwQuantileBand(std::span<const double> sorted_xs, double p,
+                                   double confidence) {
+  if (sorted_xs.empty()) {
+    throw std::invalid_argument("DkwQuantileBand of empty span");
+  }
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("DkwQuantileBand: p out of [0,1]");
+  }
+  const double eps = DkwEpsilon(sorted_xs.size(), confidence);
+  ConfidenceInterval band;
+  band.lo = Quantile(sorted_xs, std::max(0.0, p - eps));
+  band.hi = Quantile(sorted_xs, std::min(1.0, p + eps));
+  return band;
+}
+
+ConfidenceInterval BootstrapQuantileCi(std::span<const double> xs, double p,
+                                       Rng rng, int resamples,
+                                       double confidence) {
+  if (xs.empty()) {
+    throw std::invalid_argument("BootstrapQuantileCi of empty span");
+  }
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("BootstrapQuantileCi: p out of [0,1]");
+  }
+  if (resamples < 1) {
+    throw std::invalid_argument("BootstrapQuantileCi: resamples must be >= 1");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument(
+        "BootstrapQuantileCi: confidence must be in (0, 1)");
+  }
+  const auto n = static_cast<std::int64_t>(xs.size());
+  std::vector<double> resample(xs.size());
+  std::vector<double> estimates;
+  estimates.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    for (auto& slot : resample) {
+      slot = xs[static_cast<std::size_t>(rng.UniformInt(0, n - 1))];
+    }
+    estimates.push_back(Quantile(resample, p));
+  }
+  const double alpha = 1.0 - confidence;
+  ConfidenceInterval ci;
+  ci.lo = Quantile(estimates, alpha / 2.0);
+  ci.hi = Quantile(estimates, 1.0 - alpha / 2.0);
+  return ci;
+}
+
 std::optional<LinearFit> FitLine(std::span<const double> xs,
                                  std::span<const double> ys) {
   if (xs.size() != ys.size()) throw std::invalid_argument("FitLine: size mismatch");

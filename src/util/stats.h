@@ -12,6 +12,8 @@
 #include <span>
 #include <vector>
 
+#include "util/rng.h"
+
 namespace wsnlink::util {
 
 /// Streaming accumulator for mean/variance/min/max (Welford's algorithm).
@@ -63,6 +65,41 @@ class RunningStats {
 
 /// Median (Quantile with p = 0.5).
 [[nodiscard]] double Median(std::span<const double> xs);
+
+/// Empirical CDF P(X <= t) of an ascending-sorted sample (right-continuous
+/// step function). Requires non-empty, sorted input.
+[[nodiscard]] double EmpiricalCdf(std::span<const double> sorted_xs, double t);
+
+/// Empirical tail (CCDF) P(X > t) of an ascending-sorted sample.
+[[nodiscard]] double EmpiricalCcdf(std::span<const double> sorted_xs, double t);
+
+/// Half-width of the Dvoretzky-Kiefer-Wolfowitz confidence band: with
+/// probability >= `confidence`, sup_t |F_n(t) - F(t)| <= eps for
+/// eps = sqrt(ln(2 / (1 - confidence)) / (2 n)). Distribution-free — the
+/// slack the cross-validation harness grants empirical CDFs before calling
+/// an analytic bound violated. Requires n >= 1 and confidence in (0, 1).
+[[nodiscard]] double DkwEpsilon(std::size_t n, double confidence);
+
+/// A two-sided confidence interval.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// DKW-derived confidence band for the p-quantile of a sorted sample:
+/// [Quantile(p - eps), Quantile(p + eps)] with the band probabilities
+/// clamped to [0, 1]. Requires non-empty sorted input, p in [0, 1].
+[[nodiscard]] ConfidenceInterval DkwQuantileBand(
+    std::span<const double> sorted_xs, double p, double confidence);
+
+/// Percentile-bootstrap confidence interval for the p-quantile. Resamples
+/// `resamples` times with replacement using the caller-seeded `rng` (fixed
+/// seed => fixed interval; no ambient entropy). Requires non-empty input,
+/// p in [0, 1], resamples >= 1 and confidence in (0, 1).
+[[nodiscard]] ConfidenceInterval BootstrapQuantileCi(std::span<const double> xs,
+                                                     double p, Rng rng,
+                                                     int resamples = 200,
+                                                     double confidence = 0.95);
 
 /// Result of an ordinary least-squares fit y = slope*x + intercept.
 struct LinearFit {

@@ -1,0 +1,205 @@
+#include "validate/cross_validation.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "link/packet_log.h"
+#include "node/network_simulation.h"
+
+namespace wsnlink::validate {
+namespace {
+
+/// Slack for double round-trips of the integer-microsecond timestamps
+/// (ToMilliseconds divides by 1000; the bounds use the same conversion).
+constexpr double kTimingSlackMs = 1e-9;
+
+std::string Format(const char* fmt, double a, double b, double c = 0.0) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, a, b, c);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string CrossValidationReport::ToString() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "service-curve bounds: delay [%.3f, %.3f] ms, service <= %.3f "
+                "ms, queue wait <= %.3f ms, backlog <= %d pkts, rho_max %.3f "
+                "(%s)\n",
+                bounds.min_delay_ms, bounds.max_delay_ms, bounds.max_service_ms,
+                bounds.max_queue_wait_ms, bounds.backlog_bound_pkts,
+                bounds.worst_case_utilization,
+                bounds.stable ? "stable" : "queue-limited");
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "measured (n=%zu): min %.3f  p50 %.3f  p99 %.3f  max %.3f ms; "
+                "p50 CI [%.3f, %.3f]; plr_radio %.4f (bound %.4f); DKW eps "
+                "%.4f\n",
+                samples, measured_min_ms, measured_p50_ms, measured_p99_ms,
+                measured_max_ms, p50_ci.lo, p50_ci.hi, measured_plr_radio,
+                plr_radio_bound, dkw_epsilon);
+  out += buf;
+  out += "analytic delay-CCDF envelope vs empirical:\n";
+  for (const auto& step : bounds.ccdf) {
+    const double emp = profile.Empty() ? 0.0 : profile.Ccdf(step.delay_ms);
+    std::snprintf(buf, sizeof(buf), "  P(D > %9.3f ms) <= %.4f   measured %.4f\n",
+                  step.delay_ms, step.tail_probability, emp);
+    out += buf;
+  }
+  if (violations.empty()) {
+    out += "PASS: empirical distribution respects every analytic bound\n";
+  } else {
+    out += "FAIL: " + std::to_string(violations.size()) + " bound violation(s)\n";
+    for (const auto& v : violations) out += "  - " + v + "\n";
+  }
+  return out;
+}
+
+CrossValidationReport RunCrossValidation(const CrossValidationOptions& options) {
+  if (options.nodes < 1) {
+    throw std::invalid_argument("RunCrossValidation: nodes must be >= 1");
+  }
+  if (options.confidence <= 0.0 || options.confidence >= 1.0) {
+    throw std::invalid_argument(
+        "RunCrossValidation: confidence must be in (0, 1)");
+  }
+  const ServiceCurveModel model(options.sim, options.nodes, options.curve);
+
+  CrossValidationReport report;
+  report.bounds = model.Bounds();
+
+  // --- run the simulator (one shared-medium run covers all nodes) ---
+  std::vector<node::SimulationResult> nodes;
+  if (options.nodes == 1) {
+    nodes.push_back(node::RunLinkSimulation(options.sim));
+  } else {
+    const std::vector<double> distances(
+        static_cast<std::size_t>(options.nodes),
+        options.sim.config.distance_m);
+    auto network = node::RunNetworkSimulation(
+        node::UniformNetwork(options.sim, distances));
+    nodes = std::move(network.nodes);
+  }
+
+  // --- pool the empirical material (identical senders, identical law) ---
+  std::vector<int> tries_of_served;
+  std::uint64_t served = 0;
+  std::uint64_t served_delivered = 0;
+  for (const auto& result : nodes) {
+    metrics::LatencyProfile node_profile = metrics::CollectLatencies(result);
+    report.profile.sorted_delays_ms.insert(
+        report.profile.sorted_delays_ms.end(),
+        node_profile.sorted_delays_ms.begin(),
+        node_profile.sorted_delays_ms.end());
+    report.profile.queue_depths_at_arrival.insert(
+        report.profile.queue_depths_at_arrival.end(),
+        node_profile.queue_depths_at_arrival.begin(),
+        node_profile.queue_depths_at_arrival.end());
+    for (const auto& p : result.log.Packets()) {
+      if (p.dropped_at_queue || p.completed_at == link::kNever) continue;
+      ++served;
+      tries_of_served.push_back(p.tries);
+      if (p.delivered) ++served_delivered;
+    }
+  }
+  std::sort(report.profile.sorted_delays_ms.begin(),
+            report.profile.sorted_delays_ms.end());
+  report.samples = report.profile.Count();
+  if (report.samples == 0) {
+    throw std::runtime_error(
+        "RunCrossValidation: nothing delivered — no delay distribution to "
+        "validate (dead link in the grid?)");
+  }
+  report.dkw_epsilon = util::DkwEpsilon(report.samples, options.confidence);
+
+  report.measured_min_ms = report.profile.MinMs();
+  report.measured_p50_ms = report.profile.QuantileMs(0.5);
+  report.measured_p99_ms = report.profile.QuantileMs(0.99);
+  report.measured_max_ms = report.profile.MaxMs();
+  report.p50_ci = util::BootstrapQuantileCi(
+      report.profile.sorted_delays_ms, 0.5,
+      util::Rng(options.sim.seed).Derive("validate-bootstrap"));
+  report.measured_plr_radio =
+      served > 0 ? 1.0 - static_cast<double>(served_delivered) /
+                             static_cast<double>(served)
+                 : 0.0;
+  report.plr_radio_bound = model.RadioLossBound();
+
+  const DelayBounds& bounds = report.bounds;
+
+  // --- hard checks: a single excursion is a timing bug ---
+  const double lo = bounds.min_delay_ms - kTimingSlackMs;
+  const double hi = bounds.max_delay_ms + kTimingSlackMs;
+  std::size_t below = 0;
+  std::size_t above = 0;
+  for (const double d : report.profile.sorted_delays_ms) {
+    if (d < lo) ++below;
+    if (d > hi) ++above;
+  }
+  if (below > 0) {
+    report.violations.push_back(Format(
+        "%.0f delay(s) below the analytic minimum %.3f ms (fastest measured "
+        "%.3f ms)",
+        static_cast<double>(below), bounds.min_delay_ms,
+        report.measured_min_ms));
+  }
+  if (above > 0) {
+    report.violations.push_back(Format(
+        "%.0f delay(s) above the analytic maximum %.3f ms (worst measured "
+        "%.3f ms)",
+        static_cast<double>(above), bounds.max_delay_ms,
+        report.measured_max_ms));
+  }
+  const int worst_depth = report.profile.MaxQueueDepth();
+  if (worst_depth > bounds.backlog_bound_pkts) {
+    report.violations.push_back(Format(
+        "accepted arrival saw queue depth %.0f > backlog bound %.0f",
+        static_cast<double>(worst_depth),
+        static_cast<double>(bounds.backlog_bound_pkts)));
+  }
+
+  // --- CCDF domination: analytic envelope + DKW slack at every step ---
+  for (const auto& step : bounds.ccdf) {
+    const double emp = report.profile.Ccdf(step.delay_ms);
+    if (emp > step.tail_probability + report.dkw_epsilon) {
+      report.violations.push_back(Format(
+          "empirical P(D > %.3f ms) = %.4f exceeds analytic %.4f + DKW band",
+          step.delay_ms, emp, step.tail_probability));
+    }
+  }
+
+  // --- try-count tail: retries only happen after attempt failures, whose
+  //     probability the model bounds (the lost-ACK branch doubles the
+  //     per-attempt mass). This is the check a halved PER cannot survive
+  //     on a lossy link. ---
+  if (served > 0) {
+    const double eps_served = util::DkwEpsilon(served, options.confidence);
+    std::vector<double> tries_sorted(tries_of_served.begin(),
+                                     tries_of_served.end());
+    std::sort(tries_sorted.begin(), tries_sorted.end());
+    for (int k = 1; k < options.sim.config.max_tries; ++k) {
+      const double frac_more =
+          util::EmpiricalCcdf(tries_sorted, static_cast<double>(k));
+      const double bound = model.AttemptTailProbability(k, 2.0);
+      if (frac_more > bound + eps_served) {
+        report.violations.push_back(Format(
+            "fraction of packets needing > %.0f tries = %.4f exceeds "
+            "analytic %.4f + DKW band",
+            static_cast<double>(k), frac_more, bound));
+      }
+    }
+    if (report.measured_plr_radio >
+        report.plr_radio_bound + eps_served) {
+      report.violations.push_back(Format(
+          "measured radio loss %.4f exceeds analytic bound %.4f + DKW band",
+          report.measured_plr_radio, report.plr_radio_bound));
+    }
+  }
+
+  return report;
+}
+
+}  // namespace wsnlink::validate

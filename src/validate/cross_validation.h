@@ -1,0 +1,88 @@
+// Cross-validation of the simulator against the service-curve model.
+//
+// Runs the event-driven simulator for one configuration, extracts every
+// per-packet sojourn time (metrics/latency.h), and statistically asserts
+// the empirical delay distribution respects the analytic bounds of
+// service_curve.h:
+//
+//   hard checks   — every delay inside [min, max]; every accepted arrival
+//                   saw at most the backlog bound. One excursion fails.
+//   CCDF checks   — the analytic delay-CCDF envelope dominates the
+//                   empirical CCDF at every step, up to the DKW band
+//                   half-width for the sample size (distribution-free:
+//                   no assumption about the true delay law).
+//   tries / loss  — the measured try-count tail and radio loss stay under
+//                   the attempt-failure envelopes. These are the sharp
+//                   checks: mis-parameterise the PER model (per_scale)
+//                   and they fail on any lossy configuration.
+//
+// Deterministic end to end: fixed simulation seed, fixed bootstrap seed,
+// no wall-clock. Violations are collected (not thrown) so a test can
+// print the full report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "metrics/latency.h"
+#include "node/link_simulation.h"
+#include "util/stats.h"
+#include "validate/service_curve.h"
+
+namespace wsnlink::validate {
+
+/// One cross-validation run = one configuration x channel condition.
+struct CrossValidationOptions {
+  /// Simulator options (config, MAC, seed, packet count, ablations).
+  node::SimulationOptions sim;
+  /// Identical contending senders sharing the medium (1 = single link).
+  int nodes = 1;
+  /// Confidence of the DKW band granted to every stochastic check. High
+  /// by default: a violation should mean "the simulator is wrong", not
+  /// "the draw was unlucky".
+  double confidence = 0.999;
+  /// Analytic-model knobs (per_scale for deliberate mis-parameterisation).
+  ServiceCurveParams curve;
+};
+
+/// Everything one cross-validation run produced.
+struct CrossValidationReport {
+  /// The analytic bounds the run was checked against.
+  DelayBounds bounds;
+  /// Pooled empirical delay profile (all nodes).
+  metrics::LatencyProfile profile;
+  /// Delivered-packet sample size behind the DKW band.
+  std::size_t samples = 0;
+  /// DKW band half-width at `samples` and the configured confidence.
+  double dkw_epsilon = 1.0;
+
+  /// Measured summary statistics (0 when nothing was delivered).
+  double measured_min_ms = 0.0;
+  double measured_p50_ms = 0.0;
+  double measured_p99_ms = 0.0;
+  double measured_max_ms = 0.0;
+  /// Fixed-seed bootstrap confidence interval of the median delay.
+  util::ConfidenceInterval p50_ci;
+  /// Measured per-packet radio loss (served packets never delivered).
+  double measured_plr_radio = 0.0;
+  /// Analytic radio-loss bound for comparison.
+  double plr_radio_bound = 0.0;
+
+  /// Human-readable description of every violated bound; empty = passed.
+  std::vector<std::string> violations;
+  [[nodiscard]] bool Passed() const noexcept { return violations.empty(); }
+
+  /// Multi-line rendering for test logs and the delay_bounds example.
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Runs the simulator and checks it against the service-curve model.
+/// Throws std::invalid_argument for options outside the model's scope
+/// (Poisson arrivals, mobility, synthetic interferer) and
+/// std::runtime_error if the run delivered nothing (no distribution to
+/// validate — the grid should not contain dead links).
+[[nodiscard]] CrossValidationReport RunCrossValidation(
+    const CrossValidationOptions& options);
+
+}  // namespace wsnlink::validate

@@ -1,0 +1,258 @@
+#include "validate/service_curve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "channel/shadowing.h"
+#include "core/models/per_model.h"
+#include "mac/csma_mac.h"
+#include "mac/lpl_mac.h"
+#include "phy/cc2420.h"
+#include "phy/frame.h"
+#include "phy/timing.h"
+#include "sim/time.h"
+
+namespace wsnlink::validate {
+namespace {
+
+/// Standard normal CDF.
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+/// Worst case of one CSMA attempt that transmits: initial backoff, the
+/// full congestion-backoff ladder, turnaround, the frame, and the longer
+/// of the two post-frame branches (ACK wait timeout > ACK completion). An
+/// EBUSY attempt (17th busy CCA) skips turnaround/frame and is strictly
+/// shorter, so this dominates every attempt shape.
+sim::Duration CsmaAttemptMax(sim::Duration air) {
+  return phy::kInitialBackoffMax +
+         mac::kMaxCcaRetries * phy::kCongestionBackoffMax +
+         phy::kTurnaroundTime + air + phy::kAckWaitTimeout;
+}
+
+/// Worst case from an attempt's start to the delivery instant within it
+/// (delivery happens when the frame is decoded, before any ACK handling).
+sim::Duration CsmaDeliveryTailMax(sim::Duration air) {
+  return phy::kInitialBackoffMax +
+         mac::kMaxCcaRetries * phy::kCongestionBackoffMax +
+         phy::kTurnaroundTime + air;
+}
+
+/// Worst case of one LPL train: pre-copy backoff + carrier-sense ladder
+/// (1 + kMaxCcaRetries congestion backoffs) + turnaround, a copies phase
+/// bounded by its own deadline (wakeup interval + probe), and the ACK
+/// completion of the final copy.
+sim::Duration LplTrainMax(sim::Duration wakeup, sim::Duration probe) {
+  return (mac::kMaxCcaRetries + 1) * phy::kCongestionBackoffMax +
+         phy::kTurnaroundTime + wakeup + probe + phy::kAckTime;
+}
+
+sim::Duration LplDeliveryTailMax(sim::Duration wakeup, sim::Duration probe) {
+  return (mac::kMaxCcaRetries + 1) * phy::kCongestionBackoffMax +
+         phy::kTurnaroundTime + wakeup + probe;
+}
+
+}  // namespace
+
+ServiceCurveModel::ServiceCurveModel(const node::SimulationOptions& options,
+                                     int contending_nodes,
+                                     ServiceCurveParams params)
+    : params_(params) {
+  if (options.poisson_arrivals) {
+    throw std::invalid_argument(
+        "ServiceCurveModel: Poisson arrivals are outside the model's scope "
+        "(the token-bucket arrival curve assumes periodic traffic)");
+  }
+  if (options.mobility_speed_mps > 0.0) {
+    throw std::invalid_argument(
+        "ServiceCurveModel: mobility voids the stationary-channel bounds");
+  }
+  if (options.interferer_duty_cycle > 0.0) {
+    throw std::invalid_argument(
+        "ServiceCurveModel: the synthetic interferer is outside the model's "
+        "scope (use the shared-medium contention term instead)");
+  }
+  if (contending_nodes < 1) {
+    throw std::invalid_argument(
+        "ServiceCurveModel: contending_nodes must be >= 1");
+  }
+  if (params_.per_scale <= 0.0 || params_.model_margin <= 0.0) {
+    throw std::invalid_argument(
+        "ServiceCurveModel: per_scale and model_margin must be > 0");
+  }
+  options.config.Validate();
+
+  const core::StackConfig& config = options.config;
+  max_tries_ = config.max_tries;
+  payload_bytes_ = config.payload_bytes;
+
+  // --- channel statistics the stochastic terms are evaluated at ---
+  const channel::ChannelConfig chan = node::MakeChannelConfig(options);
+  const double tx_dbm = phy::OutputPowerDbm(config.pa_level);
+  mean_snr_db_ =
+      channel::Channel(chan, util::Rng(1)).MeanSnrDb(tx_dbm);
+  const double shadow_sigma =
+      chan.use_default_temporal_sigma
+          ? channel::DefaultTemporalSigmaDb(config.distance_m)
+          : chan.shadowing.sigma_db;
+  snr_sigma_db_ = std::sqrt(shadow_sigma * shadow_sigma +
+                            chan.noise.quiet_sigma_db * chan.noise.quiet_sigma_db);
+  preamble_snr_db_ = chan.preamble_snr_db;
+
+  // --- hard per-stage timing (integer microseconds, like the simulator) ---
+  const sim::Duration spi = phy::SpiLoadTime(config.payload_bytes);
+  const sim::Duration air = phy::DataFrameAirTime(config.payload_bytes);
+  const sim::Duration retry = sim::FromMilliseconds(config.retry_delay_ms);
+  const sim::Duration t_pkt = sim::FromMilliseconds(config.pkt_interval_ms);
+
+  sim::Duration attempt_max = 0;
+  sim::Duration tail_max = 0;
+  // How long one transmission keeps the medium busy for everyone else:
+  // CSMA radiates one frame and its ACK; an LPL train strobes copies for
+  // up to the whole wakeup-plus-probe window.
+  sim::Duration medium_busy = 0;
+  if (options.mac == node::MacKind::kLpl) {
+    const sim::Duration wakeup =
+        sim::FromMilliseconds(options.lpl_wakeup_interval_ms);
+    const sim::Duration probe = mac::LplParams{}.probe_duration;
+    attempt_max = LplTrainMax(wakeup, probe);
+    tail_max = LplDeliveryTailMax(wakeup, probe);
+    medium_busy = wakeup + probe + phy::kAckTime;
+  } else {
+    attempt_max = CsmaAttemptMax(air);
+    tail_max = CsmaDeliveryTailMax(air);
+    medium_busy = air + phy::AckAirTime() + phy::kTurnaroundTime;
+  }
+
+  const int n = config.max_tries;
+  const sim::Duration service_max =
+      spi + static_cast<sim::Duration>(n) * attempt_max +
+      static_cast<sim::Duration>(n - 1) * retry;
+
+  // Queue wait: FIFO, and the capacity counts the in-service slot, so an
+  // accepted arrival sees at most Q-1 packets ahead of it (Q = 1 means an
+  // accepted packet starts service immediately — a busy server drops the
+  // arrival instead of queueing it). When even the worst-case service
+  // fits inside the arrival period the system empties between arrivals
+  // (Lindley recursion with S - T <= 0) and the wait is additionally
+  // bounded by one residual service; otherwise the queue can be full.
+  const bool stable = service_max < t_pkt;
+  const sim::Duration queue_ahead_max =
+      static_cast<sim::Duration>(config.queue_capacity - 1) * service_max;
+  const sim::Duration wait_max =
+      stable ? std::min(service_max, queue_ahead_max) : queue_ahead_max;
+
+  bounds_.min_delay_ms =
+      sim::ToMilliseconds(spi + phy::kTurnaroundTime + air);
+  bounds_.max_service_ms = sim::ToMilliseconds(service_max);
+  bounds_.max_queue_wait_ms = sim::ToMilliseconds(wait_max);
+  bounds_.max_delay_ms = sim::ToMilliseconds(
+      wait_max + spi + static_cast<sim::Duration>(n - 1) * (attempt_max + retry) +
+      tail_max);
+  bounds_.backlog_bound_pkts = stable ? 1 : config.queue_capacity - 1;
+  bounds_.worst_case_utilization =
+      sim::ToMilliseconds(service_max) / config.pkt_interval_ms;
+  bounds_.stable = stable;
+
+  bounds_.arrival.rate_pps = 1000.0 / config.pkt_interval_ms;
+  bounds_.arrival.burst_pkts = 1.0;
+  bounds_.service.latency_ms = 0.0;
+  bounds_.service.rate_pps = 1000.0 / sim::ToMilliseconds(service_max);
+
+  // --- correlated loss mass (persists across a packet's retry ladder) ---
+  // Noise bursts outlive the few-ms spacing between attempts, so a burst
+  // can take out the whole ladder: count its duty once, assuming any
+  // overlap is fatal (conservative; the mean elevation rarely is).
+  const double burst_window_s =
+      sim::ToSeconds(chan.noise.burst_mean_duration + air + phy::kAckTime);
+  correlated_loss_ = chan.noise.burst_rate_hz * burst_window_s;
+  // Shared-medium contention: each of the other senders occupies the
+  // medium for at most max_tries transmissions per arrival period; any
+  // overlap with our own occupancy window can collide or exhaust the CCA
+  // ladder. Arrivals may be phase-locked (every node's app starts at
+  // t = 0), so this is a worst-case overlap fraction, not an independence
+  // argument — for LPL's long strobe trains it saturates quickly.
+  if (contending_nodes > 1) {
+    const double vulnerable_s = 2.0 * sim::ToSeconds(medium_busy);
+    correlated_loss_ += static_cast<double>(contending_nodes - 1) *
+                        static_cast<double>(config.max_tries) * vulnerable_s /
+                        sim::ToSeconds(t_pkt);
+  }
+  correlated_loss_ = std::min(1.0, correlated_loss_);
+
+  // --- analytic delay-CCDF envelope ---
+  // A packet delivered on attempt k waited at most wait_max in the queue,
+  // then SPI + (k-1) full attempts + retry gaps + the delivery tail of
+  // attempt k. Exceeding that step therefore requires the first k
+  // attempts to all fail to deliver.
+  const double delivered_floor = 1.0 - AttemptTailProbability(n, 1.0);
+  bounds_.ccdf.reserve(static_cast<std::size_t>(n));
+  for (int k = 1; k <= n; ++k) {
+    CcdfStep step;
+    step.delay_ms = sim::ToMilliseconds(
+        wait_max + spi +
+        static_cast<sim::Duration>(k - 1) * (attempt_max + retry) + tail_max);
+    if (k == n) {
+      step.tail_probability = 0.0;  // the hard maximum
+    } else if (delivered_floor <= 0.0) {
+      step.tail_probability = 1.0;
+    } else {
+      step.tail_probability =
+          std::min(1.0, AttemptTailProbability(k, 1.0) / delivered_floor);
+    }
+    bounds_.ccdf.push_back(step);
+  }
+}
+
+double ServiceCurveModel::AttemptTailProbability(
+    int k, double per_attempt_factor) const {
+  if (k < 1) throw std::invalid_argument("AttemptTailProbability: k must be >= 1");
+  if (per_attempt_factor < 1.0) {
+    throw std::invalid_argument(
+        "AttemptTailProbability: per_attempt_factor must be >= 1");
+  }
+  // Attempts within one packet are separated by milliseconds while the
+  // shadowing coherence is seconds: the k attempts see essentially one
+  // SNR draw X ~ N(mu, sigma^2). Failure given X is bounded by
+  //   q(X) = min(1, factor * a' * l_eff * exp(b X))    (Eq. 3, scaled)
+  // plus certain failure below the preamble-acquisition threshold, so
+  //   P(k failures) <= P(X < thresh) + E[(factor a' l_eff e^{bX})^k]
+  // with the Gaussian MGF E[e^{kbX}] = exp(k b mu + k^2 b^2 sigma^2 / 2).
+  // l_eff counts the whole radiated frame, not just the payload: the 19
+  // overhead bytes take bit errors too, and at small payloads they are
+  // the dominant loss surface (Eq. 3's payload-only fit underestimates a
+  // 20-byte frame's loss by ~2x; per-frame-byte it is uniform).
+  const core::models::PerModel per_model;
+  const double a =
+      params_.per_scale * per_model.Coefficients().a * per_attempt_factor;
+  const double b = per_model.Coefficients().b;
+  const double effective_bytes =
+      static_cast<double>(payload_bytes_ + phy::kStackOverheadBytes);
+
+  const double cliff =
+      NormalCdf((preamble_snr_db_ - mean_snr_db_) / snr_sigma_db_);
+  // The Chernoff-style exponent grows with k (k^2 b^2 sigma^2 / 2 in
+  // total), so the raw j-failure bound is not monotone in j even though
+  // the true tail is; since P(k failures) <= P(j failures) for j <= k,
+  // the running minimum over j <= k is itself a valid (and monotone)
+  // bound.
+  double mgf_k = 1.0;
+  for (int j = 1; j <= k; ++j) {
+    const double jj = static_cast<double>(j);
+    const double per_attempt_mgf =
+        a * effective_bytes *
+        std::exp(b * mean_snr_db_ +
+                 jj * b * b * snr_sigma_db_ * snr_sigma_db_ / 2.0);
+    mgf_k = std::min(mgf_k, std::pow(std::min(1.0, per_attempt_mgf), jj));
+  }
+
+  const double tail =
+      params_.model_margin * (cliff + mgf_k + correlated_loss_);
+  return std::min(1.0, tail);
+}
+
+double ServiceCurveModel::RadioLossBound() const {
+  return AttemptTailProbability(max_tries_, 1.0);
+}
+
+}  // namespace wsnlink::validate

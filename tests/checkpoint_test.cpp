@@ -241,6 +241,61 @@ TEST(CampaignResume, InterruptedRunResumesBitIdentical) {
   std::filesystem::remove(ckpt);
 }
 
+TEST(CampaignResume, DelayQuantileColumnsSurviveResume) {
+  // The summary schema's delay_p50_ms / delay_p99_ms / delay_max_ms
+  // columns ride through the checkpoint as serialized CSV rows; a resumed
+  // campaign must restore them bit-exactly and keep them internally
+  // ordered. (Byte-identity above already implies this; parsing the rows
+  // back pins the schema <-> struct mapping itself.)
+  const std::string ref_csv = TempPath("wsn_resume_delay_ref.csv");
+  const std::string resumed_csv = TempPath("wsn_resume_delay_out.csv");
+  const std::string ckpt = TempPath("wsn_resume_delay.ckpt");
+  std::filesystem::remove(ckpt);
+  std::filesystem::remove(resumed_csv);
+
+  (void)RunCampaign(SmallCampaign(ref_csv, ""));
+  CampaignOptions interrupted = SmallCampaign(resumed_csv, ckpt);
+  interrupted.max_configs = 5;
+  interrupted.threads = 1;
+  (void)RunCampaign(interrupted);
+  CampaignOptions resume = SmallCampaign(resumed_csv, ckpt);
+  resume.resume = true;
+  (void)RunCampaign(resume);
+
+  const auto reference = ReadSummaryCsv(ref_csv);
+  const auto resumed = ReadSummaryCsv(resumed_csv);
+  ASSERT_EQ(reference.size(), resumed.size());
+  ASSERT_FALSE(reference.empty());
+  bool any_delivered = false;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    // Bit-exact: the resumed rows come from the checkpoint, not a re-run.
+    EXPECT_EQ(reference[i].measured.delay_p50_ms,
+              resumed[i].measured.delay_p50_ms)
+        << "row " << i;
+    EXPECT_EQ(reference[i].measured.p99_delay_ms,
+              resumed[i].measured.p99_delay_ms)
+        << "row " << i;
+    EXPECT_EQ(reference[i].measured.delay_max_ms,
+              resumed[i].measured.delay_max_ms)
+        << "row " << i;
+    if (resumed[i].measured.delivered_unique > 0) {
+      any_delivered = true;
+      EXPECT_GT(resumed[i].measured.delay_p50_ms, 0.0) << "row " << i;
+      EXPECT_LE(resumed[i].measured.delay_p50_ms,
+                resumed[i].measured.p99_delay_ms)
+          << "row " << i;
+      EXPECT_LE(resumed[i].measured.p99_delay_ms,
+                resumed[i].measured.delay_max_ms)
+          << "row " << i;
+    }
+  }
+  EXPECT_TRUE(any_delivered);
+
+  std::filesystem::remove(ref_csv);
+  std::filesystem::remove(resumed_csv);
+  std::filesystem::remove(ckpt);
+}
+
 TEST(CampaignResume, CompletedCampaignReemitsIdenticalCsv) {
   const std::string csv = TempPath("wsn_resume_complete.csv");
   const std::string ckpt = TempPath("wsn_resume_complete.ckpt");

@@ -17,6 +17,7 @@
 #include "core/opt/config_space.h"
 #include "experiment/campaign.h"
 #include "experiment/sweep.h"
+#include "metrics/latency.h"
 
 namespace wsnlink {
 namespace {
@@ -54,6 +55,8 @@ void ExpectMetricsIdentical(const metrics::LinkMetrics& a,
   EXPECT_EQ(a.energy_uj_per_bit, b.energy_uj_per_bit) << "config " << i;
   EXPECT_EQ(a.mean_delay_ms, b.mean_delay_ms) << "config " << i;
   EXPECT_EQ(a.p99_delay_ms, b.p99_delay_ms) << "config " << i;
+  EXPECT_EQ(a.delay_p50_ms, b.delay_p50_ms) << "config " << i;
+  EXPECT_EQ(a.delay_max_ms, b.delay_max_ms) << "config " << i;
   EXPECT_EQ(a.plr_queue, b.plr_queue) << "config " << i;
   EXPECT_EQ(a.plr_radio, b.plr_radio) << "config " << i;
   EXPECT_EQ(a.plr_total, b.plr_total) << "config " << i;
@@ -86,6 +89,38 @@ TEST(Determinism, SweepIdenticalAcrossThreadCounts) {
     EXPECT_TRUE(serial[i].events == parallel[i].events) << "config " << i;
     EXPECT_FALSE(serial[i].events.empty()) << "config " << i;
   }
+}
+
+TEST(Determinism, LatencyProfileIdenticalAcrossThreadCounts) {
+  // The validation harness byte-compares latency histograms; pin the whole
+  // per-packet sojourn-time record, not just the summary quantiles.
+  const auto configs = TestConfigs();
+  const auto serial = RunSweepRaw(configs, BaseOptions(1));
+  const auto parallel = RunSweepRaw(configs, BaseOptions(8));
+  ASSERT_EQ(serial.size(), parallel.size());
+
+  bool any_delivered = false;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const auto profile1 = metrics::CollectLatencies(serial[i]);
+    const auto profile8 = metrics::CollectLatencies(parallel[i]);
+    EXPECT_EQ(profile1.Serialize(), profile8.Serialize()) << "config " << i;
+    EXPECT_TRUE(profile1.queue_depths_at_arrival ==
+                profile8.queue_depths_at_arrival)
+        << "config " << i;
+    if (!profile1.Empty()) {
+      any_delivered = true;
+      const auto hist1 = profile1.ToHistogram(0.0, 500.0, 32);
+      const auto hist8 = profile8.ToHistogram(0.0, 500.0, 32);
+      ASSERT_EQ(hist1.BinCount(), hist8.BinCount()) << "config " << i;
+      for (std::size_t bin = 0; bin < hist1.BinCount(); ++bin) {
+        EXPECT_EQ(hist1.Count(bin), hist8.Count(bin))
+            << "config " << i << " bin " << bin;
+      }
+      EXPECT_EQ(hist1.Underflow(), hist8.Underflow()) << "config " << i;
+      EXPECT_EQ(hist1.Overflow(), hist8.Overflow()) << "config " << i;
+    }
+  }
+  EXPECT_TRUE(any_delivered);
 }
 
 TEST(Determinism, RepeatedSweepIsIdentical) {

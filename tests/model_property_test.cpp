@@ -9,7 +9,9 @@
 #include <string>
 
 #include "core/models/model_set.h"
+#include "node/link_simulation.h"
 #include "phy/frame.h"
+#include "validate/service_curve.h"
 
 namespace wsnlink::core::models {
 namespace {
@@ -158,6 +160,150 @@ INSTANTIATE_TEST_SUITE_P(
       return "l" + std::to_string(info.param.payload) + "_s" +
              std::to_string(static_cast<int>(info.param.snr_db));
     });
+
+// --- service-curve bound algebra (src/validate/) ------------------------
+//
+// The delay/backlog bounds must respect the same kind of ordering laws as
+// the closed-form models above, for any configuration in scope: a larger
+// retry budget or payload can only push the worst case out, and the
+// analytic delay-CCDF envelope must be a valid step-function tail.
+
+wsnlink::node::SimulationOptions CurveOptions(double distance_m, int pa,
+                                              int payload, int tries) {
+  wsnlink::node::SimulationOptions options;
+  options.config.distance_m = distance_m;
+  options.config.pa_level = pa;
+  options.config.payload_bytes = payload;
+  options.config.max_tries = tries;
+  return options;
+}
+
+TEST(ServiceCurveProperty, MaxDelayMonotoneInRetryLimit) {
+  for (const double d : {10.0, 25.0, 31.0}) {
+    for (const int payload : {20, 110}) {
+      double prev_delay = 0.0;
+      double prev_service = 0.0;
+      for (int tries = 1; tries <= 8; ++tries) {
+        const wsnlink::validate::ServiceCurveModel model(
+            CurveOptions(d, 7, payload, tries));
+        const auto& b = model.Bounds();
+        EXPECT_GE(b.max_delay_ms, prev_delay)
+            << "d=" << d << " l=" << payload << " tries=" << tries;
+        EXPECT_GE(b.max_service_ms, prev_service);
+        // More tries never increases the residual loss after the ladder.
+        prev_delay = b.max_delay_ms;
+        prev_service = b.max_service_ms;
+      }
+    }
+  }
+}
+
+TEST(ServiceCurveProperty, RadioLossNonIncreasingInRetryLimit) {
+  for (const double d : {25.0, 31.0}) {
+    double prev = 2.0;
+    for (int tries = 1; tries <= 8; ++tries) {
+      const wsnlink::validate::ServiceCurveModel model(
+          CurveOptions(d, 7, 110, tries));
+      EXPECT_LE(model.RadioLossBound(), prev + 1e-12)
+          << "d=" << d << " tries=" << tries;
+      prev = model.RadioLossBound();
+    }
+  }
+}
+
+TEST(ServiceCurveProperty, BoundsMonotoneInPayloadSize) {
+  for (const double d : {10.0, 25.0, 31.0}) {
+    for (const int tries : {1, 3}) {
+      double prev_min = 0.0;
+      double prev_max = 0.0;
+      double prev_loss = 0.0;
+      for (const int payload : {5, 20, 50, 80, 110, 114}) {
+        const wsnlink::validate::ServiceCurveModel model(
+            CurveOptions(d, 7, payload, tries));
+        const auto& b = model.Bounds();
+        EXPECT_GE(b.min_delay_ms, prev_min)
+            << "d=" << d << " tries=" << tries << " l=" << payload;
+        EXPECT_GE(b.max_delay_ms, prev_max);
+        // A longer frame can only be easier to lose (Eq. 3 is linear in
+        // the radiated bytes).
+        EXPECT_GE(model.EffectiveAttemptLoss(), prev_loss - 1e-12);
+        prev_min = b.min_delay_ms;
+        prev_max = b.max_delay_ms;
+        prev_loss = model.EffectiveAttemptLoss();
+      }
+    }
+  }
+}
+
+TEST(ServiceCurveProperty, CcdfEnvelopeIsAValidTail) {
+  for (const double d : {10.0, 28.0}) {
+    for (const int tries : {1, 3, 8}) {
+      const wsnlink::validate::ServiceCurveModel model(
+          CurveOptions(d, 7, 110, tries));
+      const auto& ccdf = model.Bounds().ccdf;
+      ASSERT_EQ(ccdf.size(), static_cast<std::size_t>(tries));
+      for (std::size_t i = 0; i < ccdf.size(); ++i) {
+        EXPECT_GE(ccdf[i].tail_probability, 0.0);
+        EXPECT_LE(ccdf[i].tail_probability, 1.0);
+        if (i > 0) {
+          EXPECT_GT(ccdf[i].delay_ms, ccdf[i - 1].delay_ms);
+          EXPECT_LE(ccdf[i].tail_probability,
+                    ccdf[i - 1].tail_probability + 1e-12);
+        }
+      }
+      // The last step is the hard maximum: nothing delivered later.
+      EXPECT_DOUBLE_EQ(ccdf.back().tail_probability, 0.0);
+      EXPECT_DOUBLE_EQ(ccdf.back().delay_ms, model.Bounds().max_delay_ms);
+    }
+  }
+}
+
+TEST(ServiceCurveProperty, AttemptTailNonIncreasingInK) {
+  const wsnlink::validate::ServiceCurveModel model(
+      CurveOptions(28.0, 7, 110, 8));
+  for (const double factor : {1.0, 2.0}) {
+    double prev = 2.0;
+    for (int k = 1; k <= 8; ++k) {
+      const double tail = model.AttemptTailProbability(k, factor);
+      EXPECT_GE(tail, 0.0);
+      EXPECT_LE(tail, 1.0);
+      EXPECT_LE(tail, prev + 1e-12) << "k=" << k << " factor=" << factor;
+      prev = tail;
+    }
+  }
+}
+
+TEST(ServiceCurveProperty, HalvedPerNeverRaisesTheEnvelope) {
+  for (const double d : {10.0, 25.0, 31.0}) {
+    const auto options = CurveOptions(d, 7, 110, 3);
+    const wsnlink::validate::ServiceCurveModel calibrated(options);
+    wsnlink::validate::ServiceCurveParams halved;
+    halved.per_scale = 0.5;
+    const wsnlink::validate::ServiceCurveModel optimistic(options, 1, halved);
+    for (int k = 1; k <= 3; ++k) {
+      EXPECT_LE(optimistic.AttemptTailProbability(k, 1.0),
+                calibrated.AttemptTailProbability(k, 1.0) + 1e-12);
+    }
+  }
+}
+
+TEST(ServiceCurveProperty, StabilityFlagMatchesUtilization) {
+  for (const double interval : {10.0, 50.0, 100.0, 1000.0}) {
+    auto options = CurveOptions(25.0, 7, 110, 3);
+    options.config.pkt_interval_ms = interval;
+    options.config.queue_capacity = 4;
+    const wsnlink::validate::ServiceCurveModel model(options);
+    const auto& b = model.Bounds();
+    EXPECT_EQ(b.stable, b.worst_case_utilization < 1.0);
+    EXPECT_GE(b.backlog_bound_pkts, 0);
+    EXPECT_LE(b.backlog_bound_pkts, options.config.queue_capacity - 1 > 0
+                                        ? options.config.queue_capacity - 1
+                                        : 1);
+    EXPECT_GE(b.max_delay_ms, b.min_delay_ms);
+    EXPECT_GT(b.arrival.rate_pps, 0.0);
+    EXPECT_GT(b.service.rate_pps, 0.0);
+  }
+}
 
 }  // namespace
 }  // namespace wsnlink::core::models

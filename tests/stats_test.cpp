@@ -1,0 +1,202 @@
+// Unit tests for the distribution-band statistics helpers behind the
+// service-curve cross-validation harness: empirical CDF/CCDF evaluation,
+// the DKW confidence band and its quantile form, and the fixed-seed
+// percentile bootstrap. Everything here is deterministic — seeded Rng
+// lineage only, no wall-clock.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace wsnlink::util {
+namespace {
+
+std::vector<double> SortedSample(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.Uniform(0.0, 100.0);
+  std::sort(xs.begin(), xs.end());
+  return xs;
+}
+
+TEST(Stats, EmpiricalCdfStepFunction) {
+  const std::vector<double> xs = {1.0, 2.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(EmpiricalCdf(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(EmpiricalCdf(xs, 1.0), 0.25);  // right-continuous at jumps
+  EXPECT_DOUBLE_EQ(EmpiricalCdf(xs, 1.5), 0.25);
+  EXPECT_DOUBLE_EQ(EmpiricalCdf(xs, 2.0), 0.75);  // counts both ties
+  EXPECT_DOUBLE_EQ(EmpiricalCdf(xs, 4.9), 0.75);
+  EXPECT_DOUBLE_EQ(EmpiricalCdf(xs, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(EmpiricalCdf(xs, 1e9), 1.0);
+}
+
+TEST(Stats, EmpiricalCcdfComplementsCdf) {
+  const auto xs = SortedSample(11, 257);
+  for (const double t : {-1.0, 3.25, 50.0, 99.999, 200.0}) {
+    EXPECT_NEAR(EmpiricalCdf(xs, t) + EmpiricalCcdf(xs, t), 1.0, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(EmpiricalCcdf(xs, xs.back()), 0.0);
+  EXPECT_DOUBLE_EQ(EmpiricalCcdf(xs, xs.front() - 1.0), 1.0);
+}
+
+TEST(Stats, EmpiricalCdfMonotoneNondecreasing) {
+  const auto xs = SortedSample(7, 100);
+  double prev = -1.0;
+  for (double t = -10.0; t <= 110.0; t += 0.7) {
+    const double f = EmpiricalCdf(xs, t);
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST(Stats, EmpiricalCdfSingleElement) {
+  const std::vector<double> xs = {3.0};
+  EXPECT_DOUBLE_EQ(EmpiricalCdf(xs, 2.999), 0.0);
+  EXPECT_DOUBLE_EQ(EmpiricalCdf(xs, 3.0), 1.0);
+}
+
+TEST(Stats, EmpiricalCdfRejectsEmpty) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)EmpiricalCdf(empty, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)EmpiricalCcdf(empty, 0.0), std::invalid_argument);
+}
+
+TEST(Stats, DkwEpsilonMatchesClosedForm) {
+  // eps = sqrt(ln(2/alpha) / (2n)).
+  EXPECT_NEAR(DkwEpsilon(100, 0.95), std::sqrt(std::log(40.0) / 200.0), 1e-12);
+  EXPECT_NEAR(DkwEpsilon(1, 0.5), std::sqrt(std::log(4.0) / 2.0), 1e-12);
+}
+
+TEST(Stats, DkwEpsilonShrinksWithSampleSize) {
+  double prev = 10.0;
+  for (const std::size_t n : {1u, 10u, 100u, 1000u, 100000u}) {
+    const double eps = DkwEpsilon(n, 0.99);
+    EXPECT_LT(eps, prev);
+    EXPECT_GT(eps, 0.0);
+    prev = eps;
+  }
+  // Quadrupling n halves eps.
+  EXPECT_NEAR(DkwEpsilon(400, 0.99), DkwEpsilon(100, 0.99) / 2.0, 1e-12);
+}
+
+TEST(Stats, DkwEpsilonGrowsWithConfidence) {
+  EXPECT_LT(DkwEpsilon(500, 0.90), DkwEpsilon(500, 0.99));
+  EXPECT_LT(DkwEpsilon(500, 0.99), DkwEpsilon(500, 0.9999));
+}
+
+TEST(Stats, DkwEpsilonRejectsBadArguments) {
+  EXPECT_THROW((void)DkwEpsilon(0, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)DkwEpsilon(10, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)DkwEpsilon(10, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)DkwEpsilon(10, -0.5), std::invalid_argument);
+}
+
+TEST(Stats, DkwBandCoversTrueUniformCdf) {
+  // The sample is U[0,100]; with 99% confidence the band around the
+  // empirical CDF must cover the true CDF t/100 everywhere. A single
+  // fixed-seed draw either passes forever or fails forever — no flake.
+  const auto xs = SortedSample(42, 2000);
+  const double eps = DkwEpsilon(xs.size(), 0.99);
+  for (double t = 0.0; t <= 100.0; t += 0.5) {
+    const double truth = t / 100.0;
+    const double fn = EmpiricalCdf(xs, t);
+    EXPECT_LE(std::abs(fn - truth), eps) << "t=" << t;
+  }
+}
+
+TEST(Stats, DkwQuantileBandBracketsPointEstimate) {
+  const auto xs = SortedSample(3, 750);
+  for (const double p : {0.05, 0.5, 0.9, 0.99}) {
+    const auto band = DkwQuantileBand(xs, p, 0.95);
+    const double point = Quantile(xs, p);
+    EXPECT_LE(band.lo, point + 1e-12);
+    EXPECT_GE(band.hi, point - 1e-12);
+    EXPECT_LE(band.lo, band.hi);
+  }
+}
+
+TEST(Stats, DkwQuantileBandClampsAtEdges) {
+  const auto xs = SortedSample(9, 50);
+  // p=0 and p=1 push p±eps outside [0,1]; the band must clamp, not throw.
+  const auto lo_band = DkwQuantileBand(xs, 0.0, 0.95);
+  const auto hi_band = DkwQuantileBand(xs, 1.0, 0.95);
+  EXPECT_DOUBLE_EQ(lo_band.lo, xs.front());
+  EXPECT_DOUBLE_EQ(hi_band.hi, xs.back());
+}
+
+TEST(Stats, DkwQuantileBandNarrowsWithSampleSize) {
+  const auto small = SortedSample(5, 100);
+  const auto large = SortedSample(5, 10000);
+  const auto band_small = DkwQuantileBand(small, 0.5, 0.95);
+  const auto band_large = DkwQuantileBand(large, 0.5, 0.95);
+  EXPECT_LT(band_large.hi - band_large.lo, band_small.hi - band_small.lo);
+}
+
+TEST(Stats, DkwQuantileBandRejectsBadArguments) {
+  const std::vector<double> empty;
+  const auto xs = SortedSample(1, 10);
+  EXPECT_THROW((void)DkwQuantileBand(empty, 0.5, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)DkwQuantileBand(xs, -0.1, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)DkwQuantileBand(xs, 1.1, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)DkwQuantileBand(xs, 0.5, 1.0), std::invalid_argument);
+}
+
+TEST(Stats, BootstrapCiIsDeterministicInSeed) {
+  const auto xs = SortedSample(17, 300);
+  const auto a = BootstrapQuantileCi(xs, 0.9, Rng(123), 150, 0.95);
+  const auto b = BootstrapQuantileCi(xs, 0.9, Rng(123), 150, 0.95);
+  const auto c = BootstrapQuantileCi(xs, 0.9, Rng(124), 150, 0.95);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+  // A different seed resamples differently (intervals overlap but the
+  // endpoints almost surely differ).
+  EXPECT_GT(std::abs(a.lo - c.lo) + std::abs(a.hi - c.hi), 0.0);
+}
+
+TEST(Stats, BootstrapCiBracketsMedianOfSymmetricSample) {
+  // Sample is uniform on [0,100]; the true median 50 must land inside a
+  // 99% bootstrap interval for this fixed seed.
+  const auto xs = SortedSample(29, 1500);
+  const auto ci = BootstrapQuantileCi(xs, 0.5, Rng(7), 300, 0.99);
+  EXPECT_LT(ci.lo, 50.0);
+  EXPECT_GT(ci.hi, 50.0);
+  EXPECT_LE(ci.lo, ci.hi);
+}
+
+TEST(Stats, BootstrapCiDegenerateSampleCollapses) {
+  const std::vector<double> xs(40, 7.5);
+  const auto ci = BootstrapQuantileCi(xs, 0.75, Rng(1), 50, 0.95);
+  EXPECT_DOUBLE_EQ(ci.lo, 7.5);
+  EXPECT_DOUBLE_EQ(ci.hi, 7.5);
+}
+
+TEST(Stats, BootstrapCiWidensWithConfidence) {
+  const auto xs = SortedSample(31, 400);
+  const auto narrow = BootstrapQuantileCi(xs, 0.5, Rng(2), 400, 0.80);
+  const auto wide = BootstrapQuantileCi(xs, 0.5, Rng(2), 400, 0.99);
+  EXPECT_LE(wide.lo, narrow.lo + 1e-12);
+  EXPECT_GE(wide.hi, narrow.hi - 1e-12);
+}
+
+TEST(Stats, BootstrapCiRejectsBadArguments) {
+  const std::vector<double> empty;
+  const auto xs = SortedSample(1, 10);
+  EXPECT_THROW((void)BootstrapQuantileCi(empty, 0.5, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)BootstrapQuantileCi(xs, 1.5, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)BootstrapQuantileCi(xs, 0.5, Rng(1), 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)BootstrapQuantileCi(xs, 0.5, Rng(1), 100, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsnlink::util
