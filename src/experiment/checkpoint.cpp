@@ -56,36 +56,13 @@ std::uint64_t CheckpointChecksum(std::string_view bytes) noexcept {
   return hash;
 }
 
-void WriteCheckpoint(const std::string& path, const Checkpoint& checkpoint) {
-  std::string body;
-  body.reserve(256 + checkpoint.rows.size() * 192);
-  body += kMagic;
-  body += ' ';
-  body += std::to_string(kCheckpointFormatVersion);
-  body += '\n';
-  body += "base_seed " + std::to_string(checkpoint.meta.base_seed) + "\n";
-  body += "packet_count " + std::to_string(checkpoint.meta.packet_count) + "\n";
-  body += "stride " + std::to_string(checkpoint.meta.stride) + "\n";
-  body += "space_size " + std::to_string(checkpoint.meta.space_size) + "\n";
-  body +=
-      "config_count " + std::to_string(checkpoint.meta.config_count) + "\n";
-  body += "rows " + std::to_string(checkpoint.rows.size()) + "\n";
-  for (const auto& row : checkpoint.rows) {
-    body += "row ";
-    body += std::to_string(row.index);
-    body += row.failed ? " failed\t" : " ok\t";
-    body += SanitizeError(row.error);
-    body += '\t';
-    body += row.csv_row;
-    body += '\n';
-  }
-
+void WriteChecksummedFile(const std::string& path, std::string_view body) {
   char checksum[17];
   std::snprintf(checksum, sizeof(checksum), "%016llx",
                 static_cast<unsigned long long>(CheckpointChecksum(body)));
 
   // Atomic publish: a crash (or injected failure) while writing the tmp
-  // file leaves any previous checkpoint at `path` intact.
+  // file leaves any previous file at `path` intact.
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -116,28 +93,18 @@ void WriteCheckpoint(const std::string& path, const Checkpoint& checkpoint) {
   }
 }
 
-Checkpoint ReadCheckpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw CheckpointError("checkpoint: cannot open " + path);
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string contents = buffer.str();
-
-  // The `end <checksum>` line must be the file's final line; anything
-  // after it (or a missing/short final line) means truncation or append
-  // damage.
+std::string_view VerifyChecksummedBody(std::string_view contents,
+                                       const std::string& path) {
+  // The `end <checksum>` line must be the final line; anything after it
+  // (or a missing/short final line) means truncation or append damage.
   if (contents.empty() || contents.back() != '\n') {
     throw CheckpointError("checkpoint: truncated file " + path);
   }
-  const std::size_t end_line_start =
-      contents.rfind('\n', contents.size() - 2);
+  const std::size_t end_line_start = contents.rfind('\n', contents.size() - 2);
   const std::size_t body_size =
-      end_line_start == std::string::npos ? 0 : end_line_start + 1;
+      end_line_start == std::string_view::npos ? 0 : end_line_start + 1;
   const std::string_view end_line =
-      std::string_view(contents).substr(body_size,
-                                        contents.size() - body_size - 1);
+      contents.substr(body_size, contents.size() - body_size - 1);
   if (end_line.substr(0, 4) != "end ") {
     throw CheckpointError("checkpoint: missing end line in " + path +
                           " (truncated write?)");
@@ -149,11 +116,49 @@ Checkpoint ReadCheckpoint(const std::string& path) {
   if (hex_ec != std::errc() || hex_ptr != hex.data() + hex.size()) {
     throw CheckpointError("checkpoint: malformed checksum in " + path);
   }
-  const std::string_view body = std::string_view(contents).substr(0, body_size);
+  const std::string_view body = contents.substr(0, body_size);
   if (CheckpointChecksum(body) != stored) {
     throw CheckpointError("checkpoint: checksum mismatch in " + path +
                           " (corrupt or tampered file)");
   }
+  return body;
+}
+
+void WriteCheckpoint(const std::string& path, const Checkpoint& checkpoint) {
+  std::string body;
+  body.reserve(256 + checkpoint.rows.size() * 192);
+  body += kMagic;
+  body += ' ';
+  body += std::to_string(kCheckpointFormatVersion);
+  body += '\n';
+  body += "base_seed " + std::to_string(checkpoint.meta.base_seed) + "\n";
+  body += "packet_count " + std::to_string(checkpoint.meta.packet_count) + "\n";
+  body += "stride " + std::to_string(checkpoint.meta.stride) + "\n";
+  body += "space_size " + std::to_string(checkpoint.meta.space_size) + "\n";
+  body +=
+      "config_count " + std::to_string(checkpoint.meta.config_count) + "\n";
+  body += "rows " + std::to_string(checkpoint.rows.size()) + "\n";
+  for (const auto& row : checkpoint.rows) {
+    body += "row ";
+    body += std::to_string(row.index);
+    body += row.failed ? " failed\t" : " ok\t";
+    body += SanitizeError(row.error);
+    body += '\t';
+    body += row.csv_row;
+    body += '\n';
+  }
+  WriteChecksummedFile(path, body);
+}
+
+Checkpoint ReadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError("checkpoint: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+  const std::string_view body = VerifyChecksummedBody(contents, path);
 
   // Split the verified body into lines.
   std::vector<std::string_view> lines;

@@ -88,7 +88,25 @@ void WriteCheckpoint(const std::string& path, const Checkpoint& checkpoint);
 /// clear message on any corruption; never returns partial data.
 [[nodiscard]] Checkpoint ReadCheckpoint(const std::string& path);
 
-/// FNV-1a 64-bit over `bytes` (exposed for the corruption tests).
+/// FNV-1a 64-bit over `bytes` (exposed for the corruption tests; also the
+/// content-address hash of the serve result cache).
 [[nodiscard]] std::uint64_t CheckpointChecksum(std::string_view bytes) noexcept;
+
+/// Atomically (tmp + rename) publishes `body` followed by a trailing
+/// "end <fnv1a64-hex>\n" checksum line at `path` — the write half of the
+/// checkpoint line format, shared by campaign checkpoints and the serve
+/// result cache (serve/result_cache.h). Instrumented at the
+/// "checkpoint.write" fault-injection site; on any failure (real or
+/// injected) the tmp file is removed, any previous file at `path` is left
+/// intact, and CheckpointError is thrown.
+void WriteChecksummedFile(const std::string& path, std::string_view body);
+
+/// Verifies and strips the trailing "end <checksum>" line of a file's
+/// contents: returns the checksummed body on success, throws
+/// CheckpointError naming `path` on truncation, append damage, a malformed
+/// checksum line or a checksum mismatch. The read half of the shared
+/// format.
+[[nodiscard]] std::string_view VerifyChecksummedBody(std::string_view contents,
+                                                     const std::string& path);
 
 }  // namespace wsnlink::experiment

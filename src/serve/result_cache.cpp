@@ -1,0 +1,230 @@
+#include "serve/result_cache.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "experiment/checkpoint.h"
+
+namespace wsnlink::serve {
+
+namespace {
+
+constexpr std::string_view kMagic = "wsnlink-servecache";
+
+std::string HashHex(std::string_view bytes) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(
+                    experiment::CheckpointChecksum(bytes)));
+  return buf;
+}
+
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      lines.push_back(text.substr(pos));
+      break;
+    }
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+/// Parses one `entry <keyhash> <payloadsum> <key> <payload>` line and
+/// verifies both checksums. Returns false on any damage.
+bool ParseEntryLine(std::string_view line, std::string* key,
+                    std::string* payload) {
+  constexpr std::string_view kPrefix = "entry ";
+  if (line.substr(0, kPrefix.size()) != kPrefix) return false;
+  std::string_view rest = line.substr(kPrefix.size());
+  const std::size_t sp1 = rest.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  const std::size_t sp2 = rest.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return false;
+  const std::size_t sp3 = rest.find(' ', sp2 + 1);
+  if (sp3 == std::string_view::npos) return false;
+  const std::string_view key_hash = rest.substr(0, sp1);
+  const std::string_view payload_sum = rest.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view key_text = rest.substr(sp2 + 1, sp3 - sp2 - 1);
+  const std::string_view payload_text = rest.substr(sp3 + 1);
+  if (key_text.empty() || payload_text.empty()) return false;
+  if (HashHex(key_text) != key_hash) return false;
+  if (HashHex(payload_text) != payload_sum) return false;
+  *key = std::string(key_text);
+  *payload = std::string(payload_text);
+  return true;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string version_tag)
+    : version_tag_(std::move(version_tag)) {
+  if (version_tag_.empty() ||
+      version_tag_.find_first_of(" \t\n\r") != std::string::npos) {
+    throw std::invalid_argument(
+        "ResultCache: version tag must be non-empty and whitespace-free");
+  }
+}
+
+std::string ResultCache::Lookup(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? std::string() : it->second;
+}
+
+void ResultCache::Store(const std::string& key, const std::string& payload) {
+  if (key.empty() || key.find_first_of(" \t\n\r") != std::string::npos) {
+    throw std::invalid_argument(
+        "ResultCache: keys must be non-empty and whitespace-free");
+  }
+  if (payload.empty() ||
+      payload.find_first_of("\n\r") != std::string::npos) {
+    throw std::invalid_argument(
+        "ResultCache: payloads must be non-empty single lines");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.emplace(key, payload);
+}
+
+std::size_t ResultCache::Size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ResultCache::Save(const std::string& path) const {
+  std::string body;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    body.reserve(128 + entries_.size() * 256);
+    body += kMagic;
+    body += ' ';
+    body += std::to_string(kCacheFormatVersion);
+    body += '\n';
+    body += "version_tag " + version_tag_ + "\n";
+    body += "entries " + std::to_string(entries_.size()) + "\n";
+    // std::map iteration: entries serialize in key order, so the same
+    // cache contents always produce the same bytes.
+    for (const auto& [key, payload] : entries_) {
+      body += "entry ";
+      body += HashHex(key);
+      body += ' ';
+      body += HashHex(payload);
+      body += ' ';
+      body += key;
+      body += ' ';
+      body += payload;
+      body += '\n';
+    }
+  }
+  experiment::WriteChecksummedFile(path, body);
+}
+
+CacheLoadReport ResultCache::Load(const std::string& path) {
+  CacheLoadReport report;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    report.missing = true;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    return report;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+
+  std::string_view body;
+  bool strict = true;
+  try {
+    body = experiment::VerifyChecksummedBody(contents, path);
+  } catch (const experiment::CheckpointError&) {
+    // Whole-file checksum failed: salvage every entry line that verifies
+    // on its own. A flipped byte costs one entry, not the cache.
+    body = contents;
+    strict = false;
+    report.salvaged = true;
+  }
+
+  const auto lines = SplitLines(body);
+  // Header: magic+version and version_tag must be intact even in salvage
+  // mode — without a trustworthy tag the entries cannot be attributed to a
+  // code version, so the only safe answer is a cold start.
+  if (lines.size() < 2 ||
+      lines[0] != std::string(kMagic) + " " +
+                      std::to_string(kCacheFormatVersion)) {
+    report.corrupt_dropped = lines.size();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    return report;
+  }
+  constexpr std::string_view kTagPrefix = "version_tag ";
+  if (lines[1].substr(0, kTagPrefix.size()) != kTagPrefix) {
+    report.corrupt_dropped = lines.size();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    return report;
+  }
+  if (lines[1].substr(kTagPrefix.size()) != version_tag_) {
+    // Different code version: every persisted answer is suspect. Discard.
+    report.invalidated = true;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    return report;
+  }
+
+  std::map<std::string, std::string> loaded;
+  std::size_t dropped = 0;
+  std::size_t declared = 0;
+  bool have_declared = false;
+  for (std::size_t i = 2; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    if (line.empty()) continue;
+    // The checksum trailer reaches this loop in salvage mode only; it is
+    // not a damaged entry.
+    if (line.substr(0, 4) == "end ") continue;
+    constexpr std::string_view kEntries = "entries ";
+    if (line.substr(0, kEntries.size()) == kEntries && !have_declared) {
+      have_declared = true;
+      // Advisory in salvage mode; strict mode re-checks below.
+      for (const char ch : line.substr(kEntries.size())) {
+        if (ch < '0' || ch > '9') {
+          have_declared = false;
+          break;
+        }
+        declared = declared * 10 + static_cast<std::size_t>(ch - '0');
+      }
+      continue;
+    }
+    std::string key;
+    std::string payload;
+    if (ParseEntryLine(line, &key, &payload)) {
+      loaded.emplace(std::move(key), std::move(payload));
+    } else {
+      ++dropped;
+    }
+  }
+  if (strict && (!have_declared || declared != loaded.size() || dropped != 0)) {
+    // A verified file must parse perfectly; anything else is a format bug
+    // or in-memory damage. Degrade to what did parse and report the rest.
+    dropped += declared > loaded.size() ? declared - loaded.size() : 0;
+    report.salvaged = true;
+  }
+
+  report.loaded = loaded.size();
+  report.corrupt_dropped = dropped;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_ = std::move(loaded);
+  return report;
+}
+
+std::string ResultCache::KeyHashHex(std::string_view key) {
+  return HashHex(key);
+}
+
+}  // namespace wsnlink::serve

@@ -1,0 +1,99 @@
+// Content-addressed, persistent result store for the tuning service.
+//
+// Every answer wsnlinkd produces is a pure function of its canonical
+// request key (config, channel spec, seed contract, code-version tag — see
+// protocol.h CanonicalKey), so results are perfectly cacheable: fleet-scale
+// repeat traffic degenerates to lookups, and a restarted daemon warms from
+// disk instead of recomputing months of answers.
+//
+// Addressing: the entry address is the FNV-1a 64-bit hash of the canonical
+// key (experiment::CheckpointChecksum — the same hash the checkpoint format
+// uses). The full key string is stored alongside and is what lookups
+// compare, so even a hash collision can only cause a miss, never a wrong
+// answer.
+//
+// Persistence reuses the campaign checkpoint line format (version 1,
+// line-based text, LF endings, atomic tmp+rename publish through
+// experiment::WriteChecksummedFile — which also means the cache backend
+// shares the "checkpoint.write" fault-injection site, so the torn-write
+// drills apply unchanged):
+//
+//   wsnlink-servecache 1
+//   version_tag <tag>
+//   entries <N>
+//   entry <key-fnv1a-hex16> <payload-fnv1a-hex16> <key> <payload>   (N lines)
+//   end <fnv1a64-hex of every preceding byte>
+//
+// Load is two-tier: a file whose trailing checksum verifies is parsed
+// strictly; a file that fails it (bit rot, torn tail) drops to per-entry
+// salvage — every `entry` line whose own key hash and payload checksum
+// verify is kept, damaged lines are counted and dropped. One flipped byte
+// therefore costs exactly the damaged entry (a recompute), never the cache
+// and never a corrupt answer. A version-tag mismatch discards the whole
+// file (the invalidation rule: old answers may be wrong under new code).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace wsnlink::serve {
+
+inline constexpr int kCacheFormatVersion = 1;
+
+/// Outcome of warming a cache from disk.
+struct CacheLoadReport {
+  /// Entries accepted into memory.
+  std::size_t loaded = 0;
+  /// `entry` lines dropped by salvage (bad hash/checksum/shape).
+  std::size_t corrupt_dropped = 0;
+  /// True when the file carried a different version tag and was discarded.
+  bool invalidated = false;
+  /// True when no file existed (a cold start, not an error).
+  bool missing = false;
+  /// True when the whole-file checksum failed and salvage mode ran.
+  bool salvaged = false;
+};
+
+/// Thread-safe in-memory map + checkpoint-format persistence.
+class ResultCache {
+ public:
+  /// `version_tag` is stamped into the file header and checked at Load.
+  explicit ResultCache(std::string version_tag);
+
+  /// Returns the payload stored under `key`, or empty if absent. (Payloads
+  /// are never empty: an empty string unambiguously means miss.)
+  [[nodiscard]] std::string Lookup(const std::string& key) const;
+
+  /// Stores `payload` under `key` (first writer wins; a duplicate store of
+  /// the same key is a no-op — answers are pure functions of the key, so
+  /// both writers hold identical bytes). Rejects empty payloads and keys
+  /// containing whitespace/control bytes (the file format is line-based).
+  void Store(const std::string& key, const std::string& payload);
+
+  [[nodiscard]] std::size_t Size() const;
+
+  /// Serializes every entry (ordered by key: deterministic bytes) and
+  /// atomically publishes it to `path` via the checkpoint writer. Throws
+  /// experiment::CheckpointError on failure (injected or real); the
+  /// previous file is left intact in that case.
+  void Save(const std::string& path) const;
+
+  /// Warms the cache from `path`, replacing the in-memory contents. Never
+  /// throws on corruption: damaged state degrades to fewer warm entries
+  /// (see the report), because a cache can always be rebuilt by
+  /// recomputing.
+  CacheLoadReport Load(const std::string& path);
+
+  /// FNV-1a hex address of a canonical key (exposed for tests/tools).
+  [[nodiscard]] static std::string KeyHashHex(std::string_view key);
+
+ private:
+  std::string version_tag_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace wsnlink::serve

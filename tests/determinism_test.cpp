@@ -18,6 +18,7 @@
 #include "experiment/campaign.h"
 #include "experiment/sweep.h"
 #include "metrics/latency.h"
+#include "serve/query_service.h"
 
 namespace wsnlink {
 namespace {
@@ -171,6 +172,81 @@ TEST(Determinism, CampaignCsvIdenticalAcrossThreadCounts) {
 
   std::remove(path1.c_str());
   std::remove(path8.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Tuning service: the same determinism contract, one layer up. A batch's
+// response vector must be a pure function of its request vector — across
+// worker counts, across repeat runs, and across cold/cached states.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> ServeQueryMix() {
+  // A mix of what_if (several seeds/configs), optimize, malformed lines
+  // and an interleaved duplicate (so the batch exercises concurrent
+  // compute, cache stores and error paths together).
+  std::vector<std::string> lines;
+  const int pa_levels[] = {7, 15, 23, 31};
+  for (int i = 0; i < 8; ++i) {
+    lines.push_back(
+        "{\"verb\":\"what_if\",\"distance_m\":20,\"pa_level\":" +
+        std::to_string(pa_levels[i % 4]) +
+        ",\"payload_bytes\":" + std::to_string(30 + 20 * (i % 3)) +
+        ",\"packets\":60,\"seed\":" + std::to_string(1 + i / 4) + "}");
+  }
+  lines.push_back(lines[2]);  // duplicate: hit-vs-compute race fodder
+  lines.push_back(
+      "{\"verb\":\"optimize\",\"objective\":\"energy\",\"distance_m\":20,"
+      "\"min_goodput_kbps\":2}");
+  lines.push_back("definitely not a request");
+  lines.push_back(lines[5]);
+  return lines;
+}
+
+TEST(Determinism, ServeBatchIdenticalAcrossThreadCounts) {
+  const auto lines = ServeQueryMix();
+
+  serve::ServiceOptions serial_options;
+  serial_options.threads = 1;
+  serve::QueryService serial(serial_options);
+  const auto serial_replies = serial.AnswerBatch(lines);
+
+  serve::ServiceOptions parallel_options;
+  parallel_options.threads = 8;
+  serve::QueryService parallel(parallel_options);
+  const auto parallel_replies = parallel.AnswerBatch(lines);
+
+  ASSERT_EQ(serial_replies.size(), lines.size());
+  ASSERT_EQ(parallel_replies.size(), lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    // Byte-identical, not just equivalent: responses are canonical.
+    EXPECT_EQ(serial_replies[i], parallel_replies[i]) << "line " << i;
+  }
+}
+
+TEST(Determinism, ServeCachedRunMatchesColdRunByteExact) {
+  const auto lines = ServeQueryMix();
+
+  serve::ServiceOptions options;
+  options.threads = 8;
+  serve::QueryService service(options);
+
+  const auto cold = service.AnswerBatch(lines);
+  const auto stats_after_cold = service.Stats();
+  EXPECT_GT(stats_after_cold.cache_entries, 0u);
+
+  const auto cached = service.AnswerBatch(lines);
+  const auto stats_after_cached = service.Stats();
+  // The repeat run computed nothing new...
+  EXPECT_EQ(stats_after_cached.computed_what_if,
+            stats_after_cold.computed_what_if);
+  EXPECT_EQ(stats_after_cached.computed_optimize,
+            stats_after_cold.computed_optimize);
+
+  // ...and answered with the exact cold-run bytes.
+  ASSERT_EQ(cold.size(), cached.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(cold[i], cached[i]) << "line " << i;
+  }
 }
 
 }  // namespace

@@ -1,10 +1,14 @@
 #!/usr/bin/env sh
-# Regenerates tests/golden/campaign_summary.csv after an *intentional*
-# behaviour change (channel calibration, MAC timing, metric definitions).
+# Regenerates tests/golden/campaign_summary.csv and serve_responses.txt
+# after an *intentional* behaviour change (channel calibration, MAC
+# timing, metric definitions, serve protocol/response schema).
 #
-# The file is byte-compared by Golden.CampaignSummaryCsvMatchesCheckedInFile,
-# so never refresh it to silence a failing test without understanding why
-# the numbers moved — review the diff like any other calibration change.
+# The files are byte-compared by Golden.CampaignSummaryCsvMatchesCheckedInFile
+# and ServeGolden.TraceResponsesMatchCheckedInFile, so never refresh them
+# to silence a failing test without understanding why the numbers moved —
+# review the diff like any other calibration change. A serve-response
+# change that affects answers also needs a kServeVersionTag bump
+# (src/serve/protocol.h) so stale persisted caches invalidate.
 #
 # The workload mirrors GoldenCampaignOptions() in tests/golden_test.cpp:
 # an 8-configuration stride through the 48,384-point Table I space
@@ -29,6 +33,14 @@ cmake --build "$BUILD" --target run_campaign
   --stride 6049 --packets 60 --seed 20150629 --threads 2 \
   --out "$GOLDEN"
 
+# Serve golden: replay the fixed request trace through an in-process
+# QueryService (no socket, no cache file) and freeze the response bytes.
+SERVE_GOLDEN="$ROOT/tests/golden/serve_responses.txt"
+cmake --build "$BUILD" --target wsnlink_client
+"$BUILD/examples/wsnlink_client" --inprocess \
+  --trace "$ROOT/tests/golden/serve_trace.txt" \
+  --out "$SERVE_GOLDEN"
+
 echo
-git -C "$ROOT" --no-pager diff --stat -- "$GOLDEN" || true
-echo "regen.sh: wrote $GOLDEN — review the diff, then commit deliberately."
+git -C "$ROOT" --no-pager diff --stat -- "$GOLDEN" "$SERVE_GOLDEN" || true
+echo "regen.sh: wrote $GOLDEN and $SERVE_GOLDEN — review the diff, then commit deliberately."

@@ -1,0 +1,294 @@
+// Cache integrity drills for the tuning service's persistent result store.
+//
+// The contract under test (docs/SERVING.md):
+//  * round trip: Save then Load restores every entry byte-exactly;
+//  * damage containment: one flipped byte costs exactly the damaged entry
+//    (a recompute), never the whole cache and never a corrupt answer;
+//  * torn writes: the cache persists through the same instrumented
+//    atomic writer as campaign checkpoints ("checkpoint.write" fault
+//    site), so an injected failure leaves the previous file intact;
+//  * invalidation: a version-tag mismatch discards the file wholesale;
+//  * warm start: a restarted QueryService answers from disk with the
+//    exact bytes the cold computation produced.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "experiment/checkpoint.h"
+#include "serve/query_service.h"
+#include "serve/result_cache.h"
+#include "util/fault_injection.h"
+
+namespace wsnlink {
+namespace {
+
+using serve::CacheLoadReport;
+using serve::QueryService;
+using serve::ResultCache;
+using serve::ServiceOptions;
+
+constexpr const char* kTag = "wsnlink-servecache-test-v1";
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/wsnlink_" + name + ".cache";
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out << contents;
+}
+
+// ResultCache owns a mutex (immovable), so helpers fill one in place.
+void FillEntries(ResultCache& cache, int count) {
+  for (int i = 0; i < count; ++i) {
+    cache.Store("key|" + std::to_string(i),
+                "{\"status\":\"ok\",\"value\":" + std::to_string(i * 10) +
+                    "}");
+  }
+}
+
+void SaveCacheWithEntries(int count, const std::string& path) {
+  ResultCache cache(kTag);
+  FillEntries(cache, count);
+  cache.Save(path);
+}
+
+TEST(ServeCache, SaveLoadRoundTripIsExact) {
+  const std::string path = TempPath("roundtrip");
+  SaveCacheWithEntries(5, path);
+  ResultCache loaded(kTag);
+  const CacheLoadReport report = loaded.Load(path);
+  EXPECT_EQ(report.loaded, 5u);
+  EXPECT_EQ(report.corrupt_dropped, 0u);
+  EXPECT_FALSE(report.salvaged);
+  EXPECT_FALSE(report.invalidated);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(loaded.Lookup("key|" + std::to_string(i)),
+              "{\"status\":\"ok\",\"value\":" + std::to_string(i * 10) + "}");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServeCache, MissingFileIsColdStartNotError) {
+  ResultCache cache(kTag);
+  const CacheLoadReport report = cache.Load(TempPath("does_not_exist"));
+  EXPECT_TRUE(report.missing);
+  EXPECT_EQ(report.loaded, 0u);
+  EXPECT_EQ(cache.Size(), 0u);
+}
+
+TEST(ServeCache, SingleFlippedByteDropsOnlyTheDamagedEntry) {
+  const std::string path = TempPath("byteflip");
+  SaveCacheWithEntries(4, path);
+
+  std::string contents = ReadFile(path);
+  // Flip one byte inside entry 2's payload ("value\":20" -> "value\":2z").
+  const std::size_t pos = contents.find("\"value\":20");
+  ASSERT_NE(pos, std::string::npos);
+  contents[pos + 9] = 'z';
+  WriteFile(path, contents);
+
+  ResultCache loaded(kTag);
+  const CacheLoadReport report = loaded.Load(path);
+  EXPECT_TRUE(report.salvaged);  // whole-file checksum no longer matches
+  EXPECT_EQ(report.loaded, 3u);
+  EXPECT_EQ(report.corrupt_dropped, 1u);
+
+  // Undamaged entries answer; the damaged one is a miss (a recompute),
+  // never a corrupt payload.
+  EXPECT_EQ(loaded.Lookup("key|2"), "");
+  EXPECT_EQ(loaded.Lookup("key|0"), "{\"status\":\"ok\",\"value\":0}");
+  EXPECT_EQ(loaded.Lookup("key|3"), "{\"status\":\"ok\",\"value\":30}");
+  std::remove(path.c_str());
+}
+
+TEST(ServeCache, TruncatedTailSalvagesVerifyingEntries) {
+  const std::string path = TempPath("truncated");
+  SaveCacheWithEntries(4, path);
+
+  std::string contents = ReadFile(path);
+  // Chop mid-way through the last entry line (simulates a torn append on
+  // a filesystem without the atomic rename).
+  contents.resize(contents.rfind("entry ") + 10);
+  WriteFile(path, contents);
+
+  ResultCache loaded(kTag);
+  const CacheLoadReport report = loaded.Load(path);
+  EXPECT_TRUE(report.salvaged);
+  EXPECT_EQ(report.loaded, 3u);
+  EXPECT_GE(report.corrupt_dropped, 1u);
+  EXPECT_EQ(loaded.Lookup("key|0"), "{\"status\":\"ok\",\"value\":0}");
+  std::remove(path.c_str());
+}
+
+TEST(ServeCache, VersionTagMismatchDiscardsWholeFile) {
+  const std::string path = TempPath("invalidate");
+  SaveCacheWithEntries(3, path);
+
+  ResultCache newer("wsnlink-servecache-test-v2");
+  const CacheLoadReport report = newer.Load(path);
+  EXPECT_TRUE(report.invalidated);
+  EXPECT_EQ(report.loaded, 0u);
+  EXPECT_EQ(newer.Size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ServeCache, DamagedHeaderMeansColdStart) {
+  const std::string path = TempPath("badheader");
+  SaveCacheWithEntries(3, path);
+  std::string contents = ReadFile(path);
+  contents[0] = 'X';  // break the magic
+  WriteFile(path, contents);
+
+  ResultCache loaded(kTag);
+  const CacheLoadReport report = loaded.Load(path);
+  EXPECT_EQ(report.loaded, 0u);
+  EXPECT_EQ(loaded.Size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ServeCache, TornWriteLeavesPreviousFileIntact) {
+  const std::string path = TempPath("tornwrite");
+  ResultCache cache(kTag);
+  FillEntries(cache, 2);
+  cache.Save(path);
+  const std::string before = ReadFile(path);
+
+  cache.Store("key|extra", "{\"status\":\"ok\",\"value\":999}");
+  {
+    // The cache persists through the checkpoint writer, so the campaign
+    // torn-write drill applies verbatim: fail the very next write.
+    util::ScopedFaultInjection injection;
+    injection->FailNth("checkpoint.write", 0);
+    EXPECT_THROW(cache.Save(path), experiment::CheckpointError);
+  }
+
+  // Atomic publish: the failed write never touched the live file, and the
+  // tmp file was cleaned up.
+  EXPECT_EQ(ReadFile(path), before);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // The next save (fault cleared) succeeds and includes the new entry.
+  cache.Save(path);
+  ResultCache loaded(kTag);
+  EXPECT_EQ(loaded.Load(path).loaded, 3u);
+  EXPECT_EQ(loaded.Lookup("key|extra"), "{\"status\":\"ok\",\"value\":999}");
+  std::remove(path.c_str());
+}
+
+TEST(ServeCache, StoreRejectsUnrepresentableKeysAndPayloads) {
+  ResultCache cache(kTag);
+  EXPECT_THROW(cache.Store("", "x"), std::invalid_argument);
+  EXPECT_THROW(cache.Store("has space", "x"), std::invalid_argument);
+  EXPECT_THROW(cache.Store("key", ""), std::invalid_argument);
+  EXPECT_THROW(cache.Store("key", "two\nlines"), std::invalid_argument);
+
+  // First writer wins; a duplicate store is a no-op, not an overwrite.
+  cache.Store("key", "first");
+  cache.Store("key", "second");
+  EXPECT_EQ(cache.Lookup("key"), "first");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through QueryService
+// ---------------------------------------------------------------------------
+
+constexpr const char* kWhatIfLine =
+    "{\"verb\":\"what_if\",\"distance_m\":20,\"pa_level\":31,"
+    "\"payload_bytes\":50,\"packets\":60,\"seed\":11}";
+
+TEST(ServeCache, WarmStartedServiceAnswersFromDiskByteIdentical) {
+  const std::string path = TempPath("warmstart");
+  std::remove(path.c_str());
+
+  ServiceOptions options;
+  options.cache_path = path;
+  std::string cold_answer;
+  {
+    QueryService service(options);
+    cold_answer = service.Answer(kWhatIfLine);
+    EXPECT_EQ(service.Stats().cache_misses, 1u);
+  }  // dtor flushes
+
+  QueryService warmed(options);
+  EXPECT_EQ(warmed.Stats().warm_loaded, 1u);
+  EXPECT_EQ(warmed.Answer(kWhatIfLine), cold_answer);
+  const auto stats = warmed.Stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 0u);
+  EXPECT_EQ(stats.computed_what_if, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ServeCache, CorruptPersistedEntryMeansRecomputeNotCorruption) {
+  const std::string path = TempPath("recompute");
+  std::remove(path.c_str());
+
+  ServiceOptions options;
+  options.cache_path = path;
+  std::string cold_answer;
+  {
+    QueryService service(options);
+    cold_answer = service.Answer(kWhatIfLine);
+  }
+
+  // Flip one byte in the persisted payload.
+  std::string contents = ReadFile(path);
+  const std::size_t pos = contents.find("goodput_kbps");
+  ASSERT_NE(pos, std::string::npos);
+  contents[pos] = 'G';
+  WriteFile(path, contents);
+
+  QueryService service(options);
+  const auto warm = service.Stats();
+  EXPECT_EQ(warm.warm_loaded, 0u);
+  EXPECT_EQ(warm.corrupt_dropped, 1u);
+
+  // The damaged entry is recomputed — and lands on the same bytes.
+  const std::string recomputed = service.Answer(kWhatIfLine);
+  EXPECT_EQ(recomputed, cold_answer);
+  EXPECT_EQ(service.Stats().cache_misses, 1u);
+  EXPECT_EQ(service.Stats().computed_what_if, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ServeCache, PersistFailureDegradesToMemoryServing) {
+  const std::string path = TempPath("persistfail");
+  std::remove(path.c_str());
+
+  ServiceOptions options;
+  options.cache_path = path;
+  QueryService service(options);
+
+  std::string answer;
+  {
+    util::ScopedFaultInjection injection;
+    injection->FailAfter("checkpoint.write", 0);  // disk stays full
+    answer = service.Answer(kWhatIfLine);
+    EXPECT_NE(answer.find("\"status\":\"ok\""), std::string::npos);
+    EXPECT_GE(service.Stats().persist_failures, 1u);
+  }
+
+  // Still serving (from memory), and the next flush succeeds.
+  EXPECT_EQ(service.Answer(kWhatIfLine), answer);
+  EXPECT_TRUE(service.Flush());
+  ResultCache loaded(std::string(serve::kServeVersionTag));
+  EXPECT_EQ(loaded.Load(path).loaded, 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wsnlink
