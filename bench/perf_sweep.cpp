@@ -5,13 +5,16 @@
 // run, plus a machine-speed calibration score so a committed baseline can
 // be compared across hosts. `--check <json>` re-runs the workload and
 // fails (exit 1) if the calibration-normalized configs/sec regressed by
-// more than the tolerance versus the committed BENCH_sweep.json — the CI
+// more than the tolerance versus the committed BENCH_sweep.json, or if
+// steady-state heap allocations exceed the `--max-allocs` ceiling (the
+// zero-alloc invariant: the arena/scratch path must stay allocation-free
+// per config, so the ceiling is absolute, not host-relative) — the CI
 // perf-smoke gate.
 //
 // Usage:
 //   perf_sweep [--out BENCH_sweep.json] [--check BENCH_sweep.json]
-//              [--tolerance 0.25] [--stride 10] [--packets 60]
-//              [--threads 0] [--repeat 3] [--prescreen]
+//              [--tolerance 0.25] [--max-allocs 2] [--stride 10]
+//              [--packets 60] [--threads 0] [--repeat 3] [--prescreen]
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -165,6 +168,7 @@ int main(int argc, char** argv) {
   const auto repeat = args.GetSize("--repeat", 3);
   const bool prescreen = args.Has("--prescreen");
   const double tolerance = args.GetDouble("--tolerance", 0.25);
+  const double max_allocs = args.GetDouble("--max-allocs", 2.0);
   const std::string out_path = args.GetString("--out", "");
   const std::string check_path = args.GetString("--check", "");
 
@@ -255,6 +259,19 @@ int main(int argc, char** argv) {
                    "perf_sweep: REGRESSION — normalized throughput %.2f "
                    "is below %.2f (committed %.2f - %g%%)\n",
                    result.normalized, floor, committed, tolerance * 100);
+      return 1;
+    }
+    // The allocation gate is a hard ceiling, never host-normalized: the
+    // arena/scratch executor is designed to run allocation-free per
+    // config, so any drift here is a real leak back onto the heap, not
+    // machine noise.
+    std::printf("check: allocs/run %.1f vs ceiling %.1f\n",
+                result.allocs_per_run, max_allocs);
+    if (result.allocs_per_run > max_allocs) {
+      std::fprintf(stderr,
+                   "perf_sweep: REGRESSION — %.1f heap allocations per "
+                   "config exceeds the zero-alloc ceiling of %.1f\n",
+                   result.allocs_per_run, max_allocs);
       return 1;
     }
     std::printf("check: OK\n");

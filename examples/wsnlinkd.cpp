@@ -7,13 +7,14 @@
 //
 // Usage:
 //   wsnlinkd [--port N] [--cache FILE] [--threads N] [--max-inflight N]
-//            [--persist-every N] [--abort-after N]
+//            [--persist-every N] [--cache-max-entries N] [--abort-after N]
 //
 //   --port          TCP port on 127.0.0.1 (default 4710; 0 = ephemeral)
 //   --cache         persistent result cache path (default: memory only)
 //   --threads       max concurrent computations per batch (0 = pool width)
 //   --max-inflight  request lines answered per cycle before busy-rejecting
 //   --persist-every persist cadence in new entries (default 1 = every one)
+//   --cache-max-entries  FIFO entry cap on the result cache (0 = unbounded)
 //   --abort-after   crash drill: _Exit(3) after answering N requests
 #include <csignal>
 #include <cstdint>
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned>(args.GetSize("--threads", 0));
     service_options.cache_path = args.GetString("--cache", "");
     service_options.persist_every = args.GetSize("--persist-every", 1);
+    service_options.cache_max_entries = args.GetSize("--cache-max-entries", 0);
 
     serve::ServerOptions server_options;
     server_options.port =

@@ -41,6 +41,12 @@ class PacketSink {
   /// are sequential per run, so the caller knows both bounds up front).
   void Reserve(std::size_t packet_count);
 
+  /// Redirects the sink's growable state into caller-owned vectors (cleared
+  /// here, capacity kept) so a reused sweep worker fills warm heap blocks.
+  /// Call before Reserve; the pointees must outlive the sink.
+  void AttachStorage(std::vector<std::uint8_t>* seen,
+                     std::vector<ReceptionRecord>* receptions);
+
   /// Unique packets received.
   [[nodiscard]] std::size_t UniqueCount() const noexcept {
     return unique_count_;
@@ -57,7 +63,7 @@ class PacketSink {
   [[nodiscard]] sim::Time LastDeliveryAt() const noexcept { return last_at_; }
 
   [[nodiscard]] const std::vector<ReceptionRecord>& Receptions() const noexcept {
-    return receptions_;
+    return *receptions_;
   }
 
   /// RSSI / SNR / LQI statistics over all decoded copies.
@@ -75,9 +81,11 @@ class PacketSink {
   /// Duplicate suppression: packet ids are small sequential integers, so a
   /// dense byte-per-id table beats a hash set on the delivery hot path.
   [[nodiscard]] bool MarkSeen(std::uint64_t packet_id);
-  std::vector<std::uint8_t> seen_;
+  std::vector<std::uint8_t> own_seen_;
+  std::vector<ReceptionRecord> own_receptions_;
+  std::vector<std::uint8_t>* seen_ = &own_seen_;
+  std::vector<ReceptionRecord>* receptions_ = &own_receptions_;
   std::size_t unique_count_ = 0;
-  std::vector<ReceptionRecord> receptions_;
   std::uint64_t duplicates_ = 0;
   std::uint64_t unique_bytes_ = 0;
   sim::Time last_at_ = 0;

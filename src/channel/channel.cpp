@@ -58,14 +58,33 @@ Channel::Channel(ChannelConfig config, std::unique_ptr<BerModel> ber,
                  util::Rng rng)
     : config_(config),
       path_loss_(config.path_loss),
-      ber_(std::move(ber)),
+      ber_owned_(std::move(ber)),
+      ber_(ber_owned_.get()),
       shadowing_(ResolveShadowing(config), rng.Derive("shadowing")),
       noise_(config.noise, rng.Derive("noise-floor")),
       interferer_(config.interferer, rng.Derive("interferer")),
       mobility_(config.mobility, config.distance_m),
       loss_rng_(rng.Derive("frame-loss")),
       lqi_rng_(rng.Derive("lqi")) {
-  if (!ber_) throw std::invalid_argument("Channel: BER model must be non-null");
+  if (ber_ == nullptr) {
+    throw std::invalid_argument("Channel: BER model must be non-null");
+  }
+  config_.Validate();
+}
+
+Channel::Channel(ChannelConfig config, const BerModel* ber, util::Rng rng)
+    : config_(config),
+      path_loss_(config.path_loss),
+      ber_(ber),
+      shadowing_(ResolveShadowing(config), rng.Derive("shadowing")),
+      noise_(config.noise, rng.Derive("noise-floor")),
+      interferer_(config.interferer, rng.Derive("interferer")),
+      mobility_(config.mobility, config.distance_m),
+      loss_rng_(rng.Derive("frame-loss")),
+      lqi_rng_(rng.Derive("lqi")) {
+  if (ber_ == nullptr) {
+    throw std::invalid_argument("Channel: BER model must be non-null");
+  }
   config_.Validate();
 }
 

@@ -82,6 +82,11 @@ class Channel {
   /// streams (shadowing / noise / bit errors are derived sub-streams).
   Channel(ChannelConfig config, std::unique_ptr<BerModel> ber, util::Rng rng);
 
+  /// Non-owning BER variant for arena/scratch construction: `ber` must be
+  /// non-null and outlive the channel. Behaviour is identical to the owning
+  /// constructor with the same model — only the lifetime contract differs.
+  Channel(ChannelConfig config, const BerModel* ber, util::Rng rng);
+
   /// Convenience constructor using the default calibrated BER model.
   Channel(ChannelConfig config, util::Rng rng);
 
@@ -144,7 +149,8 @@ class Channel {
  private:
   ChannelConfig config_;
   PathLoss path_loss_;
-  std::unique_ptr<BerModel> ber_;
+  std::unique_ptr<BerModel> ber_owned_;  // empty in non-owning mode
+  const BerModel* ber_;                  // always valid; what Transmit uses
   ShadowingProcess shadowing_;
   NoiseFloorProcess noise_;
   InterfererProcess interferer_;

@@ -9,6 +9,7 @@
 
 #include "core/models/model_set.h"
 #include "core/opt/objectives.h"
+#include "node/run_scratch.h"
 #include "util/fault_injection.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -46,6 +47,15 @@ node::SimulationOptions MakeOptions(const core::StackConfig& config,
   options.disable_interference = sweep.disable_interference;
   options.collect_counters = sweep.collect_counters;
   return options;
+}
+
+/// Per-worker recycled simulation state. Pool workers persist across
+/// sweeps, so after the first few runs warm the capacities up, a worker's
+/// runs stop allocating. (ParallelFor has the caller participate too, so
+/// the main thread gets its own scratch the same way.)
+node::LinkRunScratch& WorkerScratch() {
+  thread_local node::LinkRunScratch scratch;
+  return scratch;
 }
 
 /// Runs `fn(i)` for every i in [0, total) over the shared pool.
@@ -88,11 +98,12 @@ std::vector<bool> PrescreenMask(const std::vector<core::StackConfig>& configs,
   struct Costs {
     double v[4];
   };
+  std::vector<core::models::MetricPrediction> predictions(configs.size());
+  models.PredictBatch(configs, predictions);
   std::vector<Costs> costs(configs.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {
-    const auto prediction = models.Predict(configs[i]);
     for (std::size_t m = 0; m < 4; ++m) {
-      costs[i].v[m] = core::opt::MetricCost(prediction, kObjectives[m]);
+      costs[i].v[m] = core::opt::MetricCost(predictions[i], kObjectives[m]);
     }
   }
 
@@ -147,9 +158,11 @@ std::vector<SweepPoint> RunSweep(const std::vector<core::StackConfig>& configs,
   if (options.analytic_prescreen) {
     keep = PrescreenMask(configs, options.prescreen_slack);
     const core::models::ModelSet models;
+    std::vector<core::models::MetricPrediction> predictions(configs.size());
+    models.PredictBatch(configs, predictions);
     for (std::size_t i = 0; i < configs.size(); ++i) {
       if (!keep[i]) {
-        FillFromPrediction(points[i], configs[i], models.Predict(configs[i]));
+        FillFromPrediction(points[i], configs[i], predictions[i]);
       }
     }
   }
@@ -181,20 +194,35 @@ std::vector<SweepPoint> RunSweep(const std::vector<core::StackConfig>& configs,
         util::FaultInjector::Global().MaybeThrow("sweep.worker");
       }
       auto sim_options = MakeOptions(configs[i], options, i);
-      // Per-run tracer: runs never share observability state, which is what
-      // keeps captured traces identical across thread counts.
-      std::unique_ptr<trace::Tracer> tracer;
       if (options.capture_traces) {
-        tracer = std::make_unique<trace::Tracer>(options.trace_capacity);
+        // Trace capture allocates by design (the event log escapes), so it
+        // takes the plain path. Per-run tracer: runs never share
+        // observability state, which is what keeps captured traces
+        // identical across thread counts.
+        const auto tracer =
+            std::make_unique<trace::Tracer>(options.trace_capacity);
         sim_options.tracer = tracer.get();
+        auto result = node::RunLinkSimulation(sim_options);
+        points[i].config = configs[i];
+        points[i].measured =
+            metrics::ComputeMetrics(result, configs[i].pkt_interval_ms);
+        points[i].mean_snr_db = result.mean_snr_db;
+        points[i].counters = std::move(result.counters);
+        points[i].events = tracer->Events();
+      } else {
+        // Steady-state hot path: every growable resource comes from the
+        // worker's recycled scratch; results are bit-identical to the
+        // plain path.
+        node::LinkRunScratch& scratch = WorkerScratch();
+        auto result = node::RunLinkSimulation(sim_options, scratch);
+        points[i].config = configs[i];
+        points[i].measured = metrics::ComputeMetrics(
+            result, configs[i].pkt_interval_ms, scratch.delay_buf);
+        points[i].mean_snr_db = result.mean_snr_db;
+        points[i].counters = std::move(result.counters);
+        // Hand the log's heap blocks back for the next run.
+        result.log.ExtractStorage(scratch.packet_buf, scratch.attempt_buf);
       }
-      auto result = node::RunLinkSimulation(sim_options);
-      points[i].config = configs[i];
-      points[i].measured =
-          metrics::ComputeMetrics(result, configs[i].pkt_interval_ms);
-      points[i].mean_snr_db = result.mean_snr_db;
-      points[i].counters = std::move(result.counters);
-      if (tracer) points[i].events = tracer->Events();
     } catch (const std::exception& e) {
       points[i] = SweepPoint{};
       points[i].config = configs[i];

@@ -87,6 +87,26 @@ class PacketLog {
     attempts_.reserve(attempts);
   }
 
+  /// Takes ownership of recycled vectors (cleared here, capacity kept) so a
+  /// reused sweep worker logs into warm heap blocks instead of growing
+  /// fresh ones each run.
+  void AdoptStorage(std::vector<PacketRecord>&& packets,
+                    std::vector<AttemptRecord>&& attempts) {
+    packets_ = std::move(packets);
+    attempts_ = std::move(attempts);
+    packets_.clear();
+    attempts_.clear();
+  }
+
+  /// Returns the log's vectors to the recycling pool (this log becomes
+  /// empty). The counterpart of AdoptStorage, called after the caller has
+  /// finished reducing the records to metrics.
+  void ExtractStorage(std::vector<PacketRecord>& packets,
+                      std::vector<AttemptRecord>& attempts) {
+    packets = std::move(packets_);
+    attempts = std::move(attempts_);
+  }
+
  private:
   std::vector<PacketRecord> packets_;
   std::vector<AttemptRecord> attempts_;

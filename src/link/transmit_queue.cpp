@@ -2,14 +2,24 @@
 
 namespace wsnlink::link {
 
-TransmitQueue::TransmitQueue(int capacity) : capacity_(capacity) {
+TransmitQueue::TransmitQueue(int capacity)
+    : TransmitQueue(capacity, nullptr) {}
+
+TransmitQueue::TransmitQueue(int capacity, std::vector<QueuedPacket>* storage)
+    : capacity_(capacity),
+      ring_(storage != nullptr ? storage : &own_storage_) {
   if (capacity < 1) {
     throw std::invalid_argument("TransmitQueue: capacity must be >= 1");
   }
+  // `capacity` slots: while one packet is in service, up to capacity - 1
+  // can wait; between Offer and StartService (nothing in service yet) the
+  // waiting count itself can reach capacity.
+  ring_->clear();
+  ring_->resize(static_cast<std::size_t>(capacity_));
 }
 
 int TransmitQueue::Occupancy() const noexcept {
-  return static_cast<int>(waiting_.size()) + (in_service_ ? 1 : 0);
+  return static_cast<int>(count_) + (in_service_ ? 1 : 0);
 }
 
 bool TransmitQueue::Full() const noexcept { return Occupancy() >= capacity_; }
@@ -29,7 +39,9 @@ bool TransmitQueue::Offer(const QueuedPacket& packet) {
     if (counters_ != nullptr) counters_->Add(id_drops_);
     return false;
   }
-  waiting_.push_back(packet);
+  const std::size_t cap = ring_->size();
+  (*ring_)[(head_ + count_) % cap] = packet;
+  ++count_;
   ++accepted_;
   if (counters_ != nullptr) counters_->Add(id_accepted_);
   return true;
@@ -39,11 +51,12 @@ QueuedPacket TransmitQueue::StartService() {
   if (in_service_) {
     throw std::logic_error("TransmitQueue::StartService: already serving");
   }
-  if (waiting_.empty()) {
+  if (count_ == 0) {
     throw std::logic_error("TransmitQueue::StartService: nothing waiting");
   }
-  QueuedPacket head = waiting_.front();
-  waiting_.pop_front();
+  QueuedPacket head = (*ring_)[head_];
+  head_ = (head_ + 1) % ring_->size();
+  --count_;
   in_service_ = true;
   return head;
 }

@@ -8,8 +8,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <stdexcept>
+#include <vector>
 
 #include "sim/time.h"
 #include "trace/counters.h"
@@ -24,10 +24,23 @@ struct QueuedPacket {
 };
 
 /// Bounded FIFO with an explicit in-service slot.
+///
+/// Storage is a fixed ring of `capacity` slots (the bound is the point of
+/// the queue), sized once at construction — no per-packet allocation.
 class TransmitQueue {
  public:
   /// Requires capacity >= 1 (capacity counts the in-service slot).
   explicit TransmitQueue(int capacity);
+
+  /// Scratch-mode constructor: the ring lives in `*storage` (resized to
+  /// `capacity` here, reusing its heap block across runs — the sweep
+  /// worker's recycling hook). The pointee must outlive the queue; nullptr
+  /// falls back to the queue's own storage.
+  TransmitQueue(int capacity, std::vector<QueuedPacket>* storage);
+
+  // The ring pointer may refer to own_storage_, so moves would dangle.
+  TransmitQueue(const TransmitQueue&) = delete;
+  TransmitQueue& operator=(const TransmitQueue&) = delete;
 
   /// Total occupancy: waiting packets plus the in-service packet.
   [[nodiscard]] int Occupancy() const noexcept;
@@ -46,7 +59,7 @@ class TransmitQueue {
   QueuedPacket StartService();
 
   /// True if any packet is waiting (not counting in-service).
-  [[nodiscard]] bool HasWaiting() const noexcept { return !waiting_.empty(); }
+  [[nodiscard]] bool HasWaiting() const noexcept { return count_ > 0; }
 
   /// Marks the in-service packet finished. Requires InService().
   void FinishService();
@@ -64,7 +77,10 @@ class TransmitQueue {
 
  private:
   int capacity_;
-  std::deque<QueuedPacket> waiting_;
+  std::vector<QueuedPacket> own_storage_;
+  std::vector<QueuedPacket>* ring_;  // &own_storage_ or caller-owned
+  std::size_t head_ = 0;             // oldest waiting packet
+  std::size_t count_ = 0;            // waiting packets (excl. in-service)
   bool in_service_ = false;
   std::uint64_t drops_ = 0;
   std::uint64_t accepted_ = 0;

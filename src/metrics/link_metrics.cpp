@@ -10,6 +10,13 @@ namespace wsnlink::metrics {
 
 LinkMetrics ComputeMetrics(const node::SimulationResult& result,
                            double pkt_interval_ms) {
+  std::vector<double> delays;
+  return ComputeMetrics(result, pkt_interval_ms, delays);
+}
+
+LinkMetrics ComputeMetrics(const node::SimulationResult& result,
+                           double pkt_interval_ms,
+                           std::vector<double>& delay_scratch) {
   LinkMetrics m;
   m.generated = result.generated;
   m.delivered_unique = result.unique_delivered;
@@ -33,7 +40,8 @@ LinkMetrics ComputeMetrics(const node::SimulationResult& result,
   util::RunningStats service_ms;
   util::RunningStats queue_wait_ms;
   util::RunningStats delay_ms;
-  std::vector<double> delays;
+  std::vector<double>& delays = delay_scratch;
+  delays.clear();
   std::uint64_t queue_drops = 0;
   std::uint64_t served = 0;
   std::uint64_t served_delivered = 0;
@@ -68,8 +76,10 @@ LinkMetrics ComputeMetrics(const node::SimulationResult& result,
   m.mean_service_ms = service_ms.Empty() ? 0.0 : service_ms.Mean();
   m.mean_queue_wait_ms = queue_wait_ms.Empty() ? 0.0 : queue_wait_ms.Mean();
   m.mean_delay_ms = delay_ms.Empty() ? 0.0 : delay_ms.Mean();
-  m.p99_delay_ms = delays.empty() ? 0.0 : util::Quantile(delays, 0.99);
-  m.delay_p50_ms = delays.empty() ? 0.0 : util::Quantile(delays, 0.5);
+  // In-place selection: the second quantile reads the same multiset the
+  // first permuted, so both match the copying Quantile() bit for bit.
+  m.p99_delay_ms = delays.empty() ? 0.0 : util::QuantileInPlace(delays, 0.99);
+  m.delay_p50_ms = delays.empty() ? 0.0 : util::QuantileInPlace(delays, 0.5);
   m.delay_max_ms = delay_ms.Empty() ? 0.0 : delay_ms.Max();
 
   // --- goodput / energy ---

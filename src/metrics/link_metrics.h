@@ -10,6 +10,8 @@
 // plus supporting statistics (mean tries, utilization, RSSI/LQI).
 #pragma once
 
+#include <vector>
+
 #include "node/link_simulation.h"
 
 namespace wsnlink::metrics {
@@ -80,6 +82,13 @@ struct LinkMetrics {
 /// configured T_pkt (for the utilization denominator).
 [[nodiscard]] LinkMetrics ComputeMetrics(const node::SimulationResult& result,
                                          double pkt_interval_ms);
+
+/// Zero-alloc variant: the per-packet delay samples go through
+/// `delay_scratch` (cleared here; capacity reused across calls) and the
+/// quantiles select in place. Values are identical to the overload above.
+[[nodiscard]] LinkMetrics ComputeMetrics(const node::SimulationResult& result,
+                                         double pkt_interval_ms,
+                                         std::vector<double>& delay_scratch);
 
 /// Convenience: runs the simulation and computes its metrics.
 [[nodiscard]] LinkMetrics MeasureConfig(const node::SimulationOptions& options);

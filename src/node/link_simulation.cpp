@@ -1,6 +1,12 @@
 #include "node/link_simulation.h"
 
+#include <stdexcept>
+
 #include "node/network_simulation.h"
+#include "node/node_stack.h"
+#include "node/run_scratch.h"
+#include "trace/trace.h"
+#include "util/rng.h"
 
 namespace wsnlink::node {
 
@@ -32,6 +38,42 @@ SimulationResult RunLinkSimulation(const SimulationOptions& options) {
   // snapshot this function has always returned — bit-identical to the
   // pre-refactor inline assembly.
   return CollapseToSingleLink(RunNetworkSimulation(SingleLinkNetwork(options)));
+}
+
+SimulationResult RunLinkSimulation(const SimulationOptions& options,
+                                   LinkRunScratch& scratch) {
+  // Same validation, in the same order and with the same messages, as the
+  // N=1 network path above (ResolveNodeOptions) — callers must not be able
+  // to tell the two overloads apart.
+  if (options.packet_count < 0) {
+    throw std::invalid_argument(
+        "RunNetworkSimulation: NodeSpec::packet_count must be >= 0 "
+        "(0 inherits the base packet count)");
+  }
+  options.config.Validate();
+  if (options.packet_count < 1) {
+    throw std::invalid_argument(
+        "RunNetworkSimulation: packet_count must be >= 1");
+  }
+  MakeChannelConfig(options).Validate();
+
+  scratch.BeginRun();
+  const util::Rng root(options.seed);
+  // N=1 never joins a shared medium (the generic path only builds one for
+  // shared_medium && nodes > 1), so the uncontended fast paths stay on.
+  NodeStack stack(scratch.simulator, options, root, nullptr, 0, &scratch);
+
+  trace::TraceContext run_ctx;
+  run_ctx.tracer = options.tracer;
+  run_ctx.counters = options.collect_counters ? &scratch.run_registry : nullptr;
+  if (run_ctx.Active()) scratch.simulator.AttachTrace(run_ctx);
+  if (options.collect_counters) stack.SetRunRegistry(&scratch.run_registry);
+
+  stack.AttachTrace(options.tracer, options.collect_counters);
+  stack.Start();
+  scratch.simulator.Run();
+  return stack.Harvest(scratch.simulator.Now(),
+                       scratch.simulator.EventsExecuted());
 }
 
 }  // namespace wsnlink::node

@@ -10,16 +10,19 @@ namespace wsnlink::node {
 
 NodeStack::NodeStack(sim::Simulator& simulator,
                      const SimulationOptions& options, util::Rng root,
-                     channel::Medium* medium, int node_id)
-    : options_(options), node_id_(node_id) {
-  std::unique_ptr<channel::BerModel> ber;
-  if (options_.analytic_ber) {
-    ber = std::make_unique<channel::AnalyticOQpskBer>();
-  } else {
-    ber = channel::MakeDefaultBerModel();
-  }
-  channel_ = std::make_unique<channel::Channel>(
-      MakeChannelConfig(options_), std::move(ber), root.Derive("channel"));
+                     channel::Medium* medium, int node_id,
+                     LinkRunScratch* scratch)
+    : options_(options),
+      node_id_(node_id),
+      arena_(scratch != nullptr ? &scratch->arena : &own_arena_),
+      registry_(scratch != nullptr ? &scratch->node_registry
+                                   : &own_registry_) {
+  const channel::BerModel* ber =
+      options_.analytic_ber
+          ? static_cast<const channel::BerModel*>(&analytic_ber_)
+          : static_cast<const channel::BerModel*>(&calibrated_ber_);
+  channel_ = arena_->New<channel::Channel>(MakeChannelConfig(options_), ber,
+                                           root.Derive("channel"));
   if (medium != nullptr) channel_->AttachMedium(medium, node_id_);
 
   if (options_.mac == MacKind::kCsma) {
@@ -28,8 +31,8 @@ NodeStack::NodeStack(sim::Simulator& simulator,
     mac_params.retry_delay =
         sim::FromMilliseconds(options_.config.retry_delay_ms);
     mac_params.pa_level = options_.config.pa_level;
-    mac_ = std::make_unique<mac::CsmaMac>(simulator, *channel_, mac_params,
-                                          root.Derive("mac"));
+    mac_ = arena_->New<mac::CsmaMac>(simulator, *channel_, mac_params,
+                                     root.Derive("mac"));
   }
   if (options_.mac == MacKind::kLpl) {
     mac::LplParams lpl_params;
@@ -39,14 +42,24 @@ NodeStack::NodeStack(sim::Simulator& simulator,
     lpl_params.retry_delay =
         sim::FromMilliseconds(options_.config.retry_delay_ms);
     lpl_params.pa_level = options_.config.pa_level;
-    auto owned = std::make_unique<mac::LplMac>(simulator, *channel_,
-                                               lpl_params, root.Derive("mac"));
-    receiver_idle_duty_ = owned->ReceiverIdleDutyCycle();
-    mac_ = std::move(owned);
+    auto* lpl = arena_->New<mac::LplMac>(simulator, *channel_, lpl_params,
+                                         root.Derive("mac"));
+    receiver_idle_duty_ = lpl->ReceiverIdleDutyCycle();
+    mac_ = lpl;
   }
 
-  link_ = std::make_unique<link::LinkLayer>(simulator, *mac_,
-                                            options_.config.queue_capacity);
+  link::LinkLayer::Storage link_storage;
+  if (scratch != nullptr) {
+    link_storage.queue = &scratch->queue_buf;
+    link_storage.open_records = &scratch->open_buf;
+  }
+  link_ = arena_->New<link::LinkLayer>(
+      simulator, *mac_, options_.config.queue_capacity, link_storage);
+  if (scratch != nullptr) {
+    link_->MutableLog().AdoptStorage(std::move(scratch->packet_buf),
+                                     std::move(scratch->attempt_buf));
+    sink_.AttachStorage(&scratch->seen_buf, &scratch->reception_buf);
+  }
   // The run's log sizes are known up front: one record per generated packet
   // and at most max_tries attempts each. Reserving avoids mid-run regrowth.
   link_->MutableLog().Reserve(
@@ -63,15 +76,15 @@ NodeStack::NodeStack(sim::Simulator& simulator,
   traffic.payload_bytes = options_.config.payload_bytes;
   traffic.packet_count = options_.packet_count;
   traffic.poisson = options_.poisson_arrivals;
-  generator_ = std::make_unique<app::TrafficGenerator>(
-      simulator, *link_, traffic, root.Derive("traffic"));
+  generator_ = arena_->New<app::TrafficGenerator>(simulator, *link_, traffic,
+                                                  root.Derive("traffic"));
 }
 
 void NodeStack::AttachTrace(trace::Tracer* tracer, bool collect_counters) {
   collect_counters_ = collect_counters;
   trace::TraceContext ctx;
   ctx.tracer = tracer;
-  ctx.counters = collect_counters ? &registry_ : nullptr;
+  ctx.counters = collect_counters ? registry_ : nullptr;
   ctx.node = node_id_;
   if (!ctx.Active()) return;
   mac_->AttachTrace(ctx);
@@ -100,7 +113,11 @@ SimulationResult NodeStack::Harvest(sim::Time end_time,
   result.cca_busy = mac_->CcaBusyCount();
   result.receiver_idle_duty = receiver_idle_duty_;
   result.events_executed = events_executed;
-  if (collect_counters_) result.counters = registry_.Snapshot();
+  if (collect_counters_) {
+    result.counters = run_registry_ != nullptr
+                          ? trace::SnapshotMerged(*registry_, *run_registry_)
+                          : registry_->Snapshot();
+  }
   return result;
 }
 

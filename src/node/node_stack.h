@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 
 #include "app/sink.h"
 #include "app/traffic_gen.h"
@@ -18,8 +17,10 @@
 #include "link/link_layer.h"
 #include "mac/mac.h"
 #include "node/link_simulation.h"
+#include "node/run_scratch.h"
 #include "sim/simulator.h"
 #include "trace/counters.h"
+#include "util/arena.h"
 #include "util/rng.h"
 
 namespace wsnlink::node {
@@ -34,8 +35,16 @@ class NodeStack {
   /// (uncontended); when set, the channel joins it as `node_id`.
   /// `options` must already be validated; `simulator` and `medium` must
   /// outlive the stack.
+  ///
+  /// `scratch` (optional) switches the stack into recycled-storage mode:
+  /// components are placed in the scratch arena and every growable buffer
+  /// (queue ring, packet/attempt logs, sink state) reuses the scratch
+  /// vectors' warm heap blocks. The scratch's simulator must be `simulator`
+  /// and BeginRun() must have been called. Simulation behaviour and results
+  /// are bit-identical to the default mode.
   NodeStack(sim::Simulator& simulator, const SimulationOptions& options,
-            util::Rng root, channel::Medium* medium, int node_id);
+            util::Rng root, channel::Medium* medium, int node_id,
+            LinkRunScratch* scratch = nullptr);
 
   NodeStack(const NodeStack&) = delete;
   NodeStack& operator=(const NodeStack&) = delete;
@@ -44,6 +53,14 @@ class NodeStack {
   /// private registry to every layer, stamping events with the node id.
   /// Call before Start().
   void AttachTrace(trace::Tracer* tracer, bool collect_counters);
+
+  /// Folds the run-level registry (kernel "sim.*" counters) into this
+  /// node's Harvest() snapshot via a single-allocation merge-join — the
+  /// scratch path's equivalent of the campaign-side MergeCounters roll-up.
+  /// Leave unset when the caller merges run counters itself.
+  void SetRunRegistry(const trace::CounterRegistry* run_registry) noexcept {
+    run_registry_ = run_registry;
+  }
 
   /// Schedules the traffic source's first packet.
   void Start();
@@ -62,12 +79,24 @@ class NodeStack {
  private:
   SimulationOptions options_;
   int node_id_;
-  std::unique_ptr<channel::Channel> channel_;
-  std::unique_ptr<mac::Mac> mac_;
-  std::unique_ptr<link::LinkLayer> link_;
+  // Both BER models are cheap value members; the channel borrows whichever
+  // the options select (no per-stack model allocation either way).
+  channel::AnalyticOQpskBer analytic_ber_;
+  channel::CalibratedExponentialBer calibrated_ber_;
+  // Components live in an arena: the stack's own in default mode, the
+  // caller's recycled one in scratch mode. The arena destroys them in
+  // reverse construction order (generator → link → mac → channel), which
+  // respects their reference dependencies.
+  util::MonotonicArena own_arena_;
+  util::MonotonicArena* arena_;
+  channel::Channel* channel_ = nullptr;
+  mac::Mac* mac_ = nullptr;
+  link::LinkLayer* link_ = nullptr;
   app::PacketSink sink_;
-  std::unique_ptr<app::TrafficGenerator> generator_;
-  trace::CounterRegistry registry_;
+  app::TrafficGenerator* generator_ = nullptr;
+  trace::CounterRegistry own_registry_;
+  trace::CounterRegistry* registry_;  // &own_registry_ or scratch's
+  const trace::CounterRegistry* run_registry_ = nullptr;
   bool collect_counters_ = false;
   double receiver_idle_duty_ = 1.0;
 };

@@ -3,6 +3,8 @@
 #include <charconv>
 #include <map>
 
+#include "util/args.h"
+
 namespace wsnlink::serve {
 
 namespace {
@@ -184,11 +186,12 @@ double NumberOf(const Value& value, const std::string& key) {
   if (value.kind != Value::Kind::kNumber) {
     throw ProtocolError("field '" + key + "' must be a number");
   }
+  // Same canonical grammar as every other double parser in the tree
+  // (util::ParseDouble, Args::GetDouble): whole-string decimal/scientific,
+  // finite only — "inf", "nan", hex floats and whitespace are rejected
+  // here even if a future tokenizer change were to let them through.
   double parsed{};
-  const char* begin = value.text.data();
-  const char* end = begin + value.text.size();
-  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
-  if (ec != std::errc() || ptr != end) {
+  if (!util::ParseCanonicalDouble(value.text, parsed)) {
     throw ProtocolError("field '" + key + "' is not a valid number ('" +
                         value.text + "')");
   }

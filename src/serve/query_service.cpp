@@ -43,7 +43,8 @@ core::opt::ConfigSpace ServingSpace(double distance_m,
 }
 
 QueryService::QueryService(ServiceOptions options)
-    : options_(std::move(options)), cache_(options_.version_tag) {
+    : options_(std::move(options)),
+      cache_(options_.version_tag, options_.cache_max_entries) {
   if (options_.persist_every == 0) options_.persist_every = 1;
   if (!options_.cache_path.empty()) {
     const CacheLoadReport report = cache_.Load(options_.cache_path);

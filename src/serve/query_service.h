@@ -41,6 +41,12 @@ struct ServiceOptions {
   /// Cache/compatibility tag (see protocol.h kServeVersionTag). Override
   /// in tests to exercise the invalidation rule.
   std::string version_tag = std::string(kServeVersionTag);
+  /// Entry cap for the result cache (0 = unbounded). When full, the
+  /// oldest-inserted entry is evicted first — deterministic FIFO, so two
+  /// daemons fed the same request sequence hold the same entries (see
+  /// result_cache.h). Applies to warm starts too: a persisted file larger
+  /// than the cap keeps the last `cache_max_entries` entries in key order.
+  std::size_t cache_max_entries = 0;
 };
 
 /// Monotonic service counters (all advisory; the stats verb reports them).

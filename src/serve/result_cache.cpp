@@ -64,13 +64,26 @@ bool ParseEntryLine(std::string_view line, std::string* key,
 
 }  // namespace
 
-ResultCache::ResultCache(std::string version_tag)
-    : version_tag_(std::move(version_tag)) {
+ResultCache::ResultCache(std::string version_tag, std::size_t max_entries)
+    : version_tag_(std::move(version_tag)), max_entries_(max_entries) {
   if (version_tag_.empty() ||
       version_tag_.find_first_of(" \t\n\r") != std::string::npos) {
     throw std::invalid_argument(
         "ResultCache: version tag must be non-empty and whitespace-free");
   }
+}
+
+std::size_t ResultCache::EvictOverCapLocked() {
+  std::size_t evicted = 0;
+  while (max_entries_ != 0 && entries_.size() > max_entries_) {
+    // insertion_order_ and entries_ always hold the same key set, so the
+    // front key is present by construction.
+    entries_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+    ++evicted;
+  }
+  evictions_ += evicted;
+  return evicted;
 }
 
 std::string ResultCache::Lookup(const std::string& key) const {
@@ -90,12 +103,22 @@ void ResultCache::Store(const std::string& key, const std::string& payload) {
         "ResultCache: payloads must be non-empty single lines");
   }
   const std::lock_guard<std::mutex> lock(mutex_);
-  entries_.emplace(key, payload);
+  const bool inserted = entries_.emplace(key, payload).second;
+  // A duplicate store is a no-op that must not refresh the entry's FIFO
+  // position — eviction order is pure insertion order, never recency.
+  if (!inserted) return;
+  insertion_order_.push_back(key);
+  (void)EvictOverCapLocked();
 }
 
 std::size_t ResultCache::Size() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
+}
+
+std::uint64_t ResultCache::Evictions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
 }
 
 void ResultCache::Save(const std::string& path) const {
@@ -133,6 +156,7 @@ CacheLoadReport ResultCache::Load(const std::string& path) {
     report.missing = true;
     const std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    insertion_order_.clear();
     return report;
   }
   std::ostringstream buffer;
@@ -161,6 +185,7 @@ CacheLoadReport ResultCache::Load(const std::string& path) {
     report.corrupt_dropped = lines.size();
     const std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    insertion_order_.clear();
     return report;
   }
   constexpr std::string_view kTagPrefix = "version_tag ";
@@ -168,6 +193,7 @@ CacheLoadReport ResultCache::Load(const std::string& path) {
     report.corrupt_dropped = lines.size();
     const std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    insertion_order_.clear();
     return report;
   }
   if (lines[1].substr(kTagPrefix.size()) != version_tag_) {
@@ -175,6 +201,7 @@ CacheLoadReport ResultCache::Load(const std::string& path) {
     report.invalidated = true;
     const std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    insertion_order_.clear();
     return report;
   }
 
@@ -216,10 +243,18 @@ CacheLoadReport ResultCache::Load(const std::string& path) {
     report.salvaged = true;
   }
 
-  report.loaded = loaded.size();
-  report.corrupt_dropped = dropped;
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_ = std::move(loaded);
+  // Re-anchor the FIFO to key order — the file's own deterministic entry
+  // order — so capping a loaded cache keeps the *last* max_entries keys no
+  // matter which daemon wrote the file.
+  insertion_order_.clear();
+  for (const auto& [key, payload] : entries_) {
+    insertion_order_.push_back(key);
+  }
+  report.cap_evicted = EvictOverCapLocked();
+  report.loaded = entries_.size();
+  report.corrupt_dropped = dropped;
   return report;
 }
 

@@ -31,9 +31,22 @@
 // therefore costs exactly the damaged entry (a recompute), never the cache
 // and never a corrupt answer. A version-tag mismatch discards the whole
 // file (the invalidation rule: old answers may be wrong under new code).
+//
+// Bounding: an optional entry cap turns the cache into a FIFO — when a
+// Store would exceed the cap, the oldest-inserted entries are evicted
+// first. Eviction is deterministic (pure insertion order, never recency or
+// wall clock: a duplicate Store does not refresh an entry's position), so
+// two daemons fed the same request sequence hold the same entries. After a
+// Load, insertion order is re-anchored to key order (the file's own entry
+// order), which keeps load-time capping deterministic too. Because
+// eviction only removes whole entries and Save serializes survivors in key
+// order, a capped cache's file is byte-identical to an uncapped cache
+// holding exactly the surviving set — warm-start byte identity survives
+// the cap.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
@@ -55,13 +68,19 @@ struct CacheLoadReport {
   bool missing = false;
   /// True when the whole-file checksum failed and salvage mode ran.
   bool salvaged = false;
+  /// Intact entries evicted at load time because the file held more than
+  /// the cache's entry cap (kept: the last `max_entries` in key order).
+  std::size_t cap_evicted = 0;
 };
 
 /// Thread-safe in-memory map + checkpoint-format persistence.
 class ResultCache {
  public:
   /// `version_tag` is stamped into the file header and checked at Load.
-  explicit ResultCache(std::string version_tag);
+  /// `max_entries` bounds the cache (0 = unbounded): once full, each new
+  /// Store evicts the oldest-inserted entry (deterministic FIFO — see the
+  /// file comment).
+  explicit ResultCache(std::string version_tag, std::size_t max_entries = 0);
 
   /// Returns the payload stored under `key`, or empty if absent. (Payloads
   /// are never empty: an empty string unambiguously means miss.)
@@ -74,6 +93,14 @@ class ResultCache {
   void Store(const std::string& key, const std::string& payload);
 
   [[nodiscard]] std::size_t Size() const;
+
+  /// Entries evicted by the cap so far (Store-time and Load-time alike).
+  [[nodiscard]] std::uint64_t Evictions() const;
+
+  /// The configured entry cap (0 = unbounded).
+  [[nodiscard]] std::size_t MaxEntries() const noexcept {
+    return max_entries_;
+  }
 
   /// Serializes every entry (ordered by key: deterministic bytes) and
   /// atomically publishes it to `path` via the checkpoint writer. Throws
@@ -91,9 +118,17 @@ class ResultCache {
   [[nodiscard]] static std::string KeyHashHex(std::string_view key);
 
  private:
+  /// Drops oldest-inserted entries until the cap holds. Caller holds
+  /// mutex_. Returns how many entries were evicted.
+  std::size_t EvictOverCapLocked();
+
   std::string version_tag_;
+  const std::size_t max_entries_;
   mutable std::mutex mutex_;
   std::map<std::string, std::string> entries_;
+  /// Keys in insertion order, oldest first; rebuilt (in key order) by Load.
+  std::deque<std::string> insertion_order_;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace wsnlink::serve

@@ -12,6 +12,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/fault_injection.h"
+
 namespace wsnlink::serve {
 
 namespace {
@@ -28,6 +30,23 @@ ssize_t SendSome(int fd, const char* data, std::size_t size) {
 #else
   return ::send(fd, data, size, 0);
 #endif
+}
+
+/// The instrumented send both flush loops go through. An armed
+/// "serve.send" schedule degrades the selected operation into the failure
+/// modes a loaded kernel produces anyway: a short write (exactly one byte
+/// reaches the wire) when more than one byte was offered, a clean EINTR
+/// when only one was. Either way no bytes are corrupted or reordered, so
+/// the response-resumption paths must reassemble replies byte-exactly —
+/// which is precisely what the drill asserts.
+ssize_t SendChunk(int fd, const char* data, std::size_t size) {
+  auto& injector = util::FaultInjector::Global();
+  if (injector.Armed() && injector.ShouldFail("serve.send")) {
+    if (size > 1) return SendSome(fd, data, 1);
+    errno = EINTR;
+    return -1;
+  }
+  return SendSome(fd, data, size);
 }
 
 }  // namespace
@@ -161,7 +180,7 @@ bool Server::ReadFrom(std::size_t index, std::vector<std::string>& lines,
 void Server::FlushAllBlocking() {
   for (Connection& conn : connections_) {
     while (conn.fd >= 0 && !conn.out.empty()) {
-      const ssize_t n = SendSome(conn.fd, conn.out.data(), conn.out.size());
+      const ssize_t n = SendChunk(conn.fd, conn.out.data(), conn.out.size());
       if (n <= 0) {
         if (n < 0 && errno == EINTR) continue;
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -250,7 +269,7 @@ void Server::Run() {
     for (std::size_t i = 0; i < connections_.size(); ++i) {
       Connection& conn = connections_[i];
       while (!conn.out.empty()) {
-        const ssize_t n = SendSome(conn.fd, conn.out.data(), conn.out.size());
+        const ssize_t n = SendChunk(conn.fd, conn.out.data(), conn.out.size());
         if (n > 0) {
           conn.out.erase(0, static_cast<std::size_t>(n));
           continue;

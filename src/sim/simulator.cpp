@@ -13,6 +13,17 @@ bool EventHandle::Pending() const noexcept {
   return sim_ != nullptr && sim_->SlotPending(slot_, ticket_);
 }
 
+void Simulator::Reset() noexcept {
+  // Release pending events through the normal path: callbacks destroyed,
+  // generations bumped (stale handles stay stale), slots recycled.
+  for (const HeapEntry& entry : heap_) ReleaseSlot(entry.slot);
+  heap_.clear();
+  now_ = 0;
+  next_seq_ = 0;
+  executed_ = 0;
+  counters_ = nullptr;
+}
+
 void Simulator::AttachTrace(const trace::TraceContext& ctx) {
   counters_ = ctx.counters;
   if (counters_ != nullptr) {

@@ -98,6 +98,14 @@ class Simulator {
   /// the simulator.
   void AttachTrace(const trace::TraceContext& ctx);
 
+  /// Rewinds the kernel for a fresh run while KEEPING the slot pool and
+  /// heap capacity (the zero-alloc reuse contract of the sweep hot path).
+  /// Pending callbacks are destroyed, the clock and counters return to
+  /// zero, and the trace attachment is dropped (re-attach per run). Slot
+  /// generations stay monotonic so handles from before the Reset remain
+  /// inert rather than aliasing new events.
+  void Reset() noexcept;
+
  private:
   friend class EventHandle;
 

@@ -1,0 +1,37 @@
+#include "util/arena.h"
+
+#include <cstdint>
+
+namespace wsnlink::util {
+
+void* MonotonicArena::Allocate(std::size_t bytes, std::size_t align) {
+  // Walk forward from the active chunk: Reset() rewinds `used` on every
+  // chunk, so retained chunks are revisited in order before any growth.
+  while (active_ < chunks_.size()) {
+    Chunk& chunk = chunks_[active_];
+    const auto base = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+    const std::size_t aligned =
+        ((base + chunk.used + align - 1) & ~(align - 1)) - base;
+    if (aligned + bytes <= chunk.size) {
+      chunk.used = aligned + bytes;
+      return chunk.data.get() + aligned;
+    }
+    ++active_;
+  }
+  // Every retained chunk is exhausted: grow. Oversized requests get an
+  // exactly-sized chunk so they do not inflate the default chunk size.
+  const std::size_t size = bytes + align > chunk_bytes_ ? bytes + align
+                                                        : chunk_bytes_;
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size);
+  chunk.size = size;
+  chunks_.push_back(std::move(chunk));
+  active_ = chunks_.size() - 1;
+  Chunk& fresh = chunks_.back();
+  const auto base = reinterpret_cast<std::uintptr_t>(fresh.data.get());
+  const std::size_t aligned = ((base + align - 1) & ~(align - 1)) - base;
+  fresh.used = aligned + bytes;
+  return fresh.data.get() + aligned;
+}
+
+}  // namespace wsnlink::util

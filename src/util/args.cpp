@@ -1,6 +1,7 @@
 #include "util/args.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <stdexcept>
 
@@ -54,9 +55,8 @@ std::string Args::GetString(const std::string& flag,
 double Args::GetDouble(const std::string& flag, double fallback) const {
   const auto value = Get(flag);
   if (!value) return fallback;
-  std::size_t consumed = 0;
-  const double parsed = std::stod(*value, &consumed);
-  if (consumed != value->size()) {
+  double parsed = 0.0;
+  if (!ParseCanonicalDouble(*value, parsed)) {
     throw std::invalid_argument("bad numeric value for " + flag + ": " + *value);
   }
   return parsed;
@@ -100,16 +100,32 @@ int ParsePositiveInt(const std::string& value, const std::string& what) {
   return parsed;
 }
 
-double ParseDouble(const std::string& value, const std::string& what) {
-  std::size_t consumed = 0;
-  double parsed = 0.0;
-  try {
-    parsed = std::stod(value, &consumed);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("bad number for " + what + ": '" + value +
-                                "'");
+bool ParseCanonicalDouble(std::string_view text, double& out) noexcept {
+  if (text.empty()) return false;
+  // Character filter first: anything outside the plain decimal/scientific
+  // alphabet is rejected before from_chars gets a say. This closes the
+  // strtod-family extensions in one place — leading whitespace, hex floats
+  // ("0x1p3") and the "inf"/"nan" spellings all contain a foreign byte.
+  for (const char c : text) {
+    const bool allowed = (c >= '0' && c <= '9') || c == '.' || c == 'e' ||
+                         c == 'E' || c == '+' || c == '-';
+    if (!allowed) return false;
   }
-  if (consumed != value.size() || !std::isfinite(parsed)) {
+  double parsed{};
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (ec != std::errc() || ptr != end) return false;
+  // from_chars reports overflow via errc::result_out_of_range, so this is
+  // belt and braces; it documents the finite-only contract either way.
+  if (!std::isfinite(parsed)) return false;
+  out = parsed;
+  return true;
+}
+
+double ParseDouble(const std::string& value, const std::string& what) {
+  double parsed = 0.0;
+  if (!ParseCanonicalDouble(value, parsed)) {
     throw std::invalid_argument("bad number for " + what + ": '" + value +
                                 "'");
   }

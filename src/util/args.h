@@ -10,6 +10,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace wsnlink::util {
@@ -61,10 +62,22 @@ class Args {
 [[nodiscard]] int ParsePositiveInt(const std::string& value,
                                    const std::string& what);
 
+/// The one canonical number grammar for every double parser in the tree
+/// (command-line flags, CSV cells, serve protocol fields): plain decimal or
+/// scientific notation over the whole string, finite value. Returns false —
+/// without touching `out` — for anything else, including the extensions the
+/// C library parsers quietly accept: leading/trailing whitespace, hex
+/// floats ("0x1p3"), "inf"/"nan" spellings, a leading '+', trailing
+/// garbage, and overflow to infinity.
+[[nodiscard]] bool ParseCanonicalDouble(std::string_view text,
+                                        double& out) noexcept;
+
 /// Parses a finite double from the *entire* string ("1.5", "-3e2"); "" /
-/// "abc" / "1.5x" / "nan" / "inf" all throw std::invalid_argument naming
-/// `what`. The validated replacement for raw std::strtod/atof (both
-/// silently accept trailing garbage and non-finite values).
+/// "abc" / "1.5x" / "nan" / "inf" / "0x1p3" / " 1.5" all throw
+/// std::invalid_argument naming `what`. Thin throwing wrapper over
+/// ParseCanonicalDouble — the validated replacement for raw
+/// std::strtod/atof (both silently accept trailing garbage, whitespace,
+/// hex floats and non-finite values).
 [[nodiscard]] double ParseDouble(const std::string& value,
                                  const std::string& what);
 

@@ -76,21 +76,26 @@ double StdDev(std::span<const double> xs) {
 
 double Quantile(std::span<const double> xs, double p) {
   if (xs.empty()) throw std::invalid_argument("Quantile of empty span");
+  std::vector<double> work(xs.begin(), xs.end());
+  return QuantileInPlace(work, p);
+}
+
+double QuantileInPlace(std::span<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("Quantile of empty span");
   if (p < 0.0 || p > 1.0) throw std::invalid_argument("Quantile p out of [0,1]");
   // Selection instead of a full sort: the interpolation only needs the
   // lo-th and (lo+1)-th order statistics, and nth_element leaves the tail
   // >= the pivot, so the next statistic is the tail's minimum. Identical
   // values to sorting, at O(n).
-  std::vector<double> work(xs.begin(), xs.end());
-  const double pos = p * static_cast<double>(work.size() - 1);
+  const double pos = p * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, work.size() - 1);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  const auto lo_it = work.begin() + static_cast<std::ptrdiff_t>(lo);
-  std::nth_element(work.begin(), lo_it, work.end());
+  const auto lo_it = xs.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(xs.begin(), lo_it, xs.end());
   const double lo_v = *lo_it;
   const double hi_v =
-      hi == lo ? lo_v : *std::min_element(lo_it + 1, work.end());
+      hi == lo ? lo_v : *std::min_element(lo_it + 1, xs.end());
   return lo_v * (1.0 - frac) + hi_v * frac;
 }
 

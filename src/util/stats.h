@@ -63,6 +63,12 @@ class RunningStats {
 /// statistics. Copies and sorts internally. Requires non-empty input.
 [[nodiscard]] double Quantile(std::span<const double> xs, double p);
 
+/// Quantile variant that selects directly in the caller's buffer (which is
+/// permuted, not sorted) — the zero-alloc path. Value-identical to
+/// Quantile on the same multiset, including across repeated calls on the
+/// same (re-permuted) buffer. Requires non-empty input.
+[[nodiscard]] double QuantileInPlace(std::span<double> xs, double p);
+
 /// Median (Quantile with p = 0.5).
 [[nodiscard]] double Median(std::span<const double> xs);
 

@@ -76,6 +76,50 @@ TEST(Args, ParseDoubleWholeFiniteStringOnly) {
     EXPECT_THROW((void)ParseDouble(bad, "tolerance"), std::invalid_argument)
         << "accepted '" << bad << "'";
   }
+  // strtod extensions the canonical grammar closes: leading/trailing
+  // whitespace, hex floats, a leading '+', overflow to infinity.
+  for (const char* bad : {" 1.5", "1.5 ", "\t2", "0x1p3", "0X2", "+1.5",
+                          "1e999", "NaN", "INF", "infinity"}) {
+    EXPECT_THROW((void)ParseDouble(bad, "tolerance"), std::invalid_argument)
+        << "accepted '" << bad << "'";
+  }
+}
+
+TEST(Args, ParseCanonicalDoubleSharedGrammar) {
+  double out = -1.0;
+  EXPECT_TRUE(ParseCanonicalDouble("2.25e-1", out));
+  EXPECT_DOUBLE_EQ(out, 0.225);
+  EXPECT_TRUE(ParseCanonicalDouble("-0.5", out));
+  EXPECT_DOUBLE_EQ(out, -0.5);
+  EXPECT_TRUE(ParseCanonicalDouble("1000000", out));
+  EXPECT_DOUBLE_EQ(out, 1e6);
+
+  // A failed parse must not touch `out`.
+  out = 7.0;
+  EXPECT_FALSE(ParseCanonicalDouble("nan", out));
+  EXPECT_FALSE(ParseCanonicalDouble("inf", out));
+  EXPECT_FALSE(ParseCanonicalDouble("0x1p3", out));
+  EXPECT_FALSE(ParseCanonicalDouble(" 1", out));
+  EXPECT_FALSE(ParseCanonicalDouble("1 ", out));
+  EXPECT_FALSE(ParseCanonicalDouble("+2", out));
+  EXPECT_FALSE(ParseCanonicalDouble("", out));
+  EXPECT_FALSE(ParseCanonicalDouble("1e999", out));
+  EXPECT_FALSE(ParseCanonicalDouble("--1", out));
+  EXPECT_DOUBLE_EQ(out, 7.0);
+}
+
+TEST(Args, GetDoubleUsesCanonicalGrammar) {
+  // Args::GetDouble used to go through raw stod and quietly accepted what
+  // ParseDouble rejected; both now share ParseCanonicalDouble.
+  for (const char* bad : {"inf", "nan", "0x1p3", " 1.5", "+2", "1e999"}) {
+    const char* argv[] = {"tool", "--x", bad};
+    const Args args(3, argv);
+    EXPECT_THROW((void)args.GetDouble("--x", 0.0), std::invalid_argument)
+        << "accepted '" << bad << "'";
+  }
+  const char* argv[] = {"tool", "--x", "-2.5e1"};
+  const Args args(3, argv);
+  EXPECT_DOUBLE_EQ(args.GetDouble("--x", 0.0), -25.0);
 }
 
 }  // namespace

@@ -112,6 +112,32 @@ TEST(ServeFuzz, MutatedValidRequestsParseOrErrorCleanly) {
   EXPECT_GT(parsed + rejected, 0);
 }
 
+TEST(ServeFuzz, NumberFieldsFollowTheCanonicalGrammar) {
+  // The protocol shares util::ParseCanonicalDouble with the CLI/CSV
+  // parsers: non-finite spellings, hex floats, embedded whitespace and a
+  // leading '+' in a number field must all be clean ProtocolError rejects,
+  // never silently-parsed values.
+  // (Whitespace around a number is legal *inter-token* whitespace, so it
+  // never reaches the number grammar — the tokenizer strips it.)
+  const char* bad_numbers[] = {"inf",   "-inf",  "nan", "0x1p3", "0X2",
+                               "+15",   "1e999", "infinity",
+                               "1.5.5", "--3"};
+  for (const char* bad : bad_numbers) {
+    const std::string line =
+        std::string("{\"verb\":\"what_if\",\"distance_m\":") + bad +
+        ",\"pa_level\":27,\"payload_bytes\":40,\"packets\":50,\"seed\":3}";
+    EXPECT_FALSE(ParseIsTotal(line)) << "accepted distance_m=" << bad;
+  }
+  // The happy path still parses: plain decimal and scientific forms.
+  const char* good_numbers[] = {"15", "15.5", "1.55e1", "2E1"};
+  for (const char* good : good_numbers) {
+    const std::string line =
+        std::string("{\"verb\":\"what_if\",\"distance_m\":") + good +
+        ",\"pa_level\":27,\"payload_bytes\":40,\"packets\":50,\"seed\":3}";
+    EXPECT_TRUE(ParseIsTotal(line)) << "rejected distance_m=" << good;
+  }
+}
+
 TEST(ServeFuzz, TruncationsOfValidRequestsNeverEscape) {
   for (const char* valid : kValidLines) {
     const std::string line = valid;

@@ -1,0 +1,13 @@
+// Fixture: a marked hot-path file that stays allocation-free — placement
+// new into caller-owned storage and plain arithmetic are both fine.
+// wsnlint:hot-path
+#include <new>
+
+struct Slot {
+  double value;
+};
+
+double Step(void* storage, double x) {
+  Slot* slot = new (storage) Slot{x * 2.0};
+  return slot->value;
+}

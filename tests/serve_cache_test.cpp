@@ -203,6 +203,83 @@ TEST(ServeCache, StoreRejectsUnrepresentableKeysAndPayloads) {
 }
 
 // ---------------------------------------------------------------------------
+// Entry cap / FIFO eviction
+// ---------------------------------------------------------------------------
+
+TEST(ServeCache, CapEvictsOldestInsertedFirst) {
+  ResultCache cache(kTag, /*max_entries=*/3);
+  FillEntries(cache, 5);  // stores key|0 .. key|4 in order
+  EXPECT_EQ(cache.Size(), 3u);
+  EXPECT_EQ(cache.Evictions(), 2u);
+  // FIFO: the two oldest stores are gone, the three newest answer.
+  EXPECT_EQ(cache.Lookup("key|0"), "");
+  EXPECT_EQ(cache.Lookup("key|1"), "");
+  EXPECT_EQ(cache.Lookup("key|2"), "{\"status\":\"ok\",\"value\":20}");
+  EXPECT_EQ(cache.Lookup("key|4"), "{\"status\":\"ok\",\"value\":40}");
+}
+
+TEST(ServeCache, DuplicateStoreDoesNotRefreshFifoPosition) {
+  ResultCache cache(kTag, /*max_entries=*/3);
+  FillEntries(cache, 3);  // order: key|0, key|1, key|2
+  // A duplicate store of the oldest key is a no-op — it must NOT move
+  // key|0 to the back (eviction is insertion order, never recency).
+  cache.Store("key|0", "different-bytes");
+  cache.Store("key|fresh", "{\"status\":\"ok\",\"value\":999}");
+  EXPECT_EQ(cache.Lookup("key|0"), "");  // still the eviction victim
+  EXPECT_EQ(cache.Lookup("key|1"), "{\"status\":\"ok\",\"value\":10}");
+  EXPECT_EQ(cache.Lookup("key|fresh"), "{\"status\":\"ok\",\"value\":999}");
+}
+
+TEST(ServeCache, CappedSaveIsByteIdenticalToUncappedSurvivorSet) {
+  // Warm-start byte identity must survive the cap: a capped cache's file
+  // is exactly the file an uncapped cache holding the surviving set would
+  // write — eviction removes whole entries, never perturbs survivors.
+  const std::string capped_path = TempPath("capped");
+  const std::string survivors_path = TempPath("survivors");
+  {
+    ResultCache capped(kTag, /*max_entries=*/2);
+    FillEntries(capped, 5);  // survivors: key|3, key|4
+    capped.Save(capped_path);
+  }
+  {
+    ResultCache uncapped(kTag);
+    uncapped.Store("key|3", "{\"status\":\"ok\",\"value\":30}");
+    uncapped.Store("key|4", "{\"status\":\"ok\",\"value\":40}");
+    uncapped.Save(survivors_path);
+  }
+  EXPECT_EQ(ReadFile(capped_path), ReadFile(survivors_path));
+  std::remove(capped_path.c_str());
+  std::remove(survivors_path.c_str());
+}
+
+TEST(ServeCache, LoadAppliesCapDeterministically) {
+  const std::string path = TempPath("loadcap");
+  SaveCacheWithEntries(5, path);  // key|0 .. key|4, serialized in key order
+
+  ResultCache capped(kTag, /*max_entries=*/2);
+  const CacheLoadReport report = capped.Load(path);
+  // The cap keeps the last max_entries in key order — the file's own
+  // deterministic entry order — and reports the intact-but-evicted rest.
+  EXPECT_EQ(report.loaded, 2u);
+  EXPECT_EQ(report.cap_evicted, 3u);
+  EXPECT_EQ(report.corrupt_dropped, 0u);
+  EXPECT_FALSE(report.salvaged);
+  EXPECT_EQ(capped.Size(), 2u);
+  EXPECT_EQ(capped.Lookup("key|3"), "{\"status\":\"ok\",\"value\":30}");
+  EXPECT_EQ(capped.Lookup("key|4"), "{\"status\":\"ok\",\"value\":40}");
+  EXPECT_EQ(capped.Lookup("key|0"), "");
+
+  // Round trip under the cap: save the survivors, reload, same bytes.
+  capped.Save(path);
+  ResultCache reloaded(kTag, /*max_entries=*/2);
+  const CacheLoadReport second = reloaded.Load(path);
+  EXPECT_EQ(second.loaded, 2u);
+  EXPECT_EQ(second.cap_evicted, 0u);
+  EXPECT_EQ(reloaded.Lookup("key|4"), "{\"status\":\"ok\",\"value\":40}");
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end through QueryService
 // ---------------------------------------------------------------------------
 
@@ -231,6 +308,33 @@ TEST(ServeCache, WarmStartedServiceAnswersFromDiskByteIdentical) {
   EXPECT_EQ(stats.cache_misses, 0u);
   EXPECT_EQ(stats.computed_what_if, 0u);
   std::remove(path.c_str());
+}
+
+TEST(ServeCache, ServiceHonorsCacheEntryCap) {
+  constexpr const char* kOtherLine =
+      "{\"verb\":\"what_if\",\"distance_m\":20,\"pa_level\":31,"
+      "\"payload_bytes\":50,\"packets\":60,\"seed\":12}";
+
+  ServiceOptions options;
+  options.cache_max_entries = 1;
+  QueryService service(options);
+
+  const std::string first = service.Answer(kWhatIfLine);
+  const std::string second = service.Answer(kOtherLine);
+  EXPECT_EQ(service.Stats().cache_entries, 1u);
+
+  // The first answer was evicted by the second; recomputing it lands on
+  // the same bytes (answers are pure functions of the key).
+  EXPECT_EQ(service.Answer(kWhatIfLine), first);
+  const auto stats = service.Stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.computed_what_if, 3u);
+  EXPECT_EQ(stats.cache_entries, 1u);
+
+  // And a repeat of the most recent store is a genuine hit.
+  EXPECT_EQ(service.Answer(kWhatIfLine), first);
+  EXPECT_EQ(service.Stats().cache_hits, 1u);
+  (void)second;
 }
 
 TEST(ServeCache, CorruptPersistedEntryMeansRecomputeNotCorruption) {

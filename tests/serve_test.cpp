@@ -22,6 +22,7 @@
 #include "serve/protocol.h"
 #include "serve/query_service.h"
 #include "serve/server.h"
+#include "util/fault_injection.h"
 
 namespace wsnlink {
 namespace {
@@ -356,6 +357,39 @@ TEST(ServeServer, MaxInflightOverflowIsBusyRejectedNotDropped) {
   }
   EXPECT_EQ(ok + busy, kLines);
   EXPECT_EQ(service.Stats().busy_rejected, static_cast<std::uint64_t>(busy));
+}
+
+TEST(ServeServer, ShortWritesAndEintrNeverCorruptResponses) {
+  QueryService service(ServiceOptions{});
+  RunningServer running(service, serve::ServerOptions{});
+
+  // Reference bytes from an uninstrumented in-process answer path.
+  QueryService local(ServiceOptions{});
+  const std::string expected_ok = local.Answer(kWhatIfLine);
+  const std::string expected_stats_shape = "\"verb\":\"stats\"";
+
+  // Degrade most sends at the "serve.send" site: a multi-hundred-byte
+  // reply now dribbles out one byte at a time, interleaved with EINTRs.
+  // The schedule is a seeded hash of the operation ordinal, so the drill
+  // replays identically. The responses must still arrive byte-exact and
+  // in request order.
+  util::ScopedFaultInjection injection;
+  injection->FailWithProbability("serve.send", 0.95, /*seed=*/20150629);
+
+  TestClient client(running.server.Port());
+  client.Send(std::string(kWhatIfLine) + "\n" + "{\"verb\":\"stats\"}\n" +
+              std::string(kWhatIfLine) + "\n");
+  const std::string first = client.ReadLine();
+  const std::string stats = client.ReadLine();
+  const std::string repeat = client.ReadLine();
+
+  EXPECT_EQ(first, expected_ok);
+  EXPECT_EQ(repeat, expected_ok);
+  EXPECT_NE(stats.find(expected_stats_shape), std::string::npos) << stats;
+
+  // The drill only counts if the fault site actually fired — and fired
+  // often enough to exercise both the short-write and the EINTR arm.
+  EXPECT_GT(util::FaultInjector::Global().Injected("serve.send"), 10u);
 }
 
 TEST(ServeServer, ConcurrentClientsAllGetTheirOwnAnswers) {

@@ -168,6 +168,52 @@ void CheckNakedNew(const FileContext& ctx, std::vector<Finding>* out) {
   }
 }
 
+// --- R7: no heap allocation in files marked hot-path ------------------------
+
+void CheckHotAlloc(const FileContext& ctx, std::vector<Finding>* out) {
+  // Opt-in: a comment containing the `wsnlint:hot-path` marker declares the
+  // file part of the per-config inner loop, where the zero-alloc sweep
+  // invariant holds (perf_sweep --check measures it dynamically; this rule
+  // makes it visible at review time). In marked files, tokens that
+  // unconditionally hit the heap allocator are findings. Placement new
+  // (`new (addr) T`) constructs into caller-owned storage — the arena's
+  // whole point — and stays exempt, as do preprocessor lines.
+  bool marked = false;
+  for (const Comment& comment : ctx.scan.comments) {
+    if (comment.text.find("wsnlint:hot-path") != std::string::npos) {
+      marked = true;
+      break;
+    }
+  }
+  if (!marked) return;
+  static const std::regex kPreprocessor(R"(^\s*#)");
+  static const std::regex kHeapCall(
+      R"(\bmake_(unique|shared)\s*<|\b(malloc|calloc|realloc|strdup)\s*\()");
+  static const std::regex kNew(R"(\bnew\b)");
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string& line = ctx.code_lines[i];
+    if (std::regex_search(line, kPreprocessor)) continue;
+    bool flagged = std::regex_search(line, kHeapCall);
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kNew);
+         !flagged && it != std::sregex_iterator(); ++it) {
+      const std::size_t pos = static_cast<std::size_t>(it->position());
+      static const std::regex kOperatorPrefix(R"(operator\s*$)");
+      if (std::regex_search(line.substr(0, pos), kOperatorPrefix)) continue;
+      std::size_t after = pos + 3;
+      while (after < line.size() && line[after] == ' ') ++after;
+      if (after < line.size() && line[after] == '(') continue;  // placement
+      flagged = true;
+    }
+    if (flagged) {
+      out->push_back({ctx.path, static_cast<int>(i) + 1, "no-hot-alloc",
+                      "heap allocation in a wsnlint:hot-path file; the "
+                      "per-config inner loop runs allocation-free — build "
+                      "into arena/scratch storage or hoist the allocation "
+                      "to setup"});
+    }
+  }
+}
+
 // --- allow directives -------------------------------------------------------
 
 struct AllowDirective {
@@ -238,6 +284,10 @@ const std::vector<RuleInfo>& Rules() {
        "no ==/!= against floating-point literals; compare with a tolerance"},
       {"no-naked-new",
        "no naked new/delete in src/; use owning types"},
+      {"no-hot-alloc",
+       "files carrying a wsnlint:hot-path marker comment must not allocate "
+       "on the heap (new/make_unique/make_shared/malloc family); hot loops "
+       "build into arena or scratch storage"},
   };
   return kRules;
 }
@@ -259,6 +309,7 @@ std::vector<Finding> CheckFile(const FileContext& ctx) {
   CheckHeaderHygiene(ctx, &raw);
   CheckFloatEq(ctx, &raw);
   CheckNakedNew(ctx, &raw);
+  CheckHotAlloc(ctx, &raw);
 
   std::vector<Finding> kept = std::move(directive_findings);
   for (Finding& finding : raw) {
