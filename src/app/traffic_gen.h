@@ -55,6 +55,26 @@ class TrafficGenerator {
   /// First generated packet id (ids are sequential from here).
   [[nodiscard]] std::uint64_t FirstPacketId() const noexcept { return 1; }
 
+  /// Arrival-process state for speculative save/restore (the Poisson gap
+  /// RNG rewinds with the counters).
+  struct State {
+    util::Rng rng;
+    int generated = 0;
+    std::uint64_t next_id = 1;
+  };
+
+  void SaveState(State& out) const {
+    out.rng = rng_;
+    out.generated = generated_;
+    out.next_id = next_id_;
+  }
+
+  void RestoreState(const State& state) {
+    rng_ = state.rng;
+    generated_ = state.generated;
+    next_id_ = state.next_id;
+  }
+
  private:
   void Emit();
 

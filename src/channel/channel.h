@@ -146,6 +146,46 @@ class Channel {
   [[nodiscard]] const ChannelConfig& Config() const noexcept { return config_; }
   [[nodiscard]] const BerModel& Ber() const noexcept { return *ber_; }
 
+  /// Every mutable channel member: the stochastic processes (with their
+  /// RNG lineages), the per-frame RNGs and the memoised path-loss cache.
+  /// A SaveState/RestoreState round trip makes subsequent Transmit calls
+  /// replay bit-identically — the channel half of a speculative rollback.
+  struct State {
+    ShadowingProcess::State shadowing;
+    NoiseFloorProcess::State noise;
+    InterfererProcess::State interferer;
+    util::Rng loss_rng;
+    util::Rng lqi_rng;
+    double rssi_cache_tx_dbm = 0.0;
+    double rssi_cache_dist_m = 0.0;
+    double rssi_cache_value = 0.0;
+    bool rssi_cache_valid = false;
+  };
+
+  void SaveState(State& out) const {
+    shadowing_.SaveState(out.shadowing);
+    noise_.SaveState(out.noise);
+    interferer_.SaveState(out.interferer);
+    out.loss_rng = loss_rng_;
+    out.lqi_rng = lqi_rng_;
+    out.rssi_cache_tx_dbm = rssi_cache_tx_dbm_;
+    out.rssi_cache_dist_m = rssi_cache_dist_m_;
+    out.rssi_cache_value = rssi_cache_value_;
+    out.rssi_cache_valid = rssi_cache_valid_;
+  }
+
+  void RestoreState(const State& state) {
+    shadowing_.RestoreState(state.shadowing);
+    noise_.RestoreState(state.noise);
+    interferer_.RestoreState(state.interferer);
+    loss_rng_ = state.loss_rng;
+    lqi_rng_ = state.lqi_rng;
+    rssi_cache_tx_dbm_ = state.rssi_cache_tx_dbm;
+    rssi_cache_dist_m_ = state.rssi_cache_dist_m;
+    rssi_cache_value_ = state.rssi_cache_value;
+    rssi_cache_valid_ = state.rssi_cache_valid;
+  }
+
  private:
   ChannelConfig config_;
   PathLoss path_loss_;

@@ -5,16 +5,6 @@
 
 namespace wsnlink::channel {
 
-namespace {
-
-/// How far back a finished frame can still matter. Receivers look back one
-/// frame airtime from the reception instant; the largest 802.15.4 frame is
-/// 133 bytes at 32 us/byte = 4256 us. Twice that is a comfortable margin
-/// and keeps the active list a handful of entries regardless of run length.
-constexpr sim::Duration kRetentionWindow = 8'512;
-
-}  // namespace
-
 Medium::Medium(double capture_margin_db)
     : capture_margin_db_(capture_margin_db) {
   if (capture_margin_db < 0.0) {
@@ -29,8 +19,8 @@ void Medium::Begin(int node, sim::Time start, sim::Time end,
   }
   // Prune frames that ended long before any query can still reach them.
   // Simulated time is monotonic, so everything retained stays relevant.
-  if (start > kRetentionWindow) {
-    const sim::Time horizon = start - kRetentionWindow;
+  if (start > kMediumRetentionWindow) {
+    const sim::Time horizon = start - kMediumRetentionWindow;
     std::erase_if(active_,
                   [horizon](const Frame& f) { return f.end < horizon; });
   }

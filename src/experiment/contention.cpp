@@ -48,6 +48,7 @@ std::vector<ContentionPoint> RunContentionSweep(
         network.base = base;
         network.shared_medium = options.shared_medium;
         network.capture_margin_db = options.capture_margin_db;
+        network.sim_threads = options.sim_threads;
         const int count = options.node_counts[i];
         network.nodes.reserve(static_cast<std::size_t>(count));
         for (int n = 0; n < count; ++n) {

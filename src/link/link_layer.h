@@ -62,6 +62,44 @@ class LinkLayer {
   [[nodiscard]] PacketLog& MutableLog() noexcept { return log_; }
   [[nodiscard]] const TransmitQueue& Queue() const noexcept { return queue_; }
 
+  /// Queue state, log high-water marks, deep copies of the records still
+  /// open (only those can mutate after the snapshot) and the open-record
+  /// table — everything a speculative rollback must rewind. Open entries
+  /// are bounded by the queue capacity, so images stay small and reusable.
+  struct State {
+    TransmitQueue::State queue;
+    std::size_t packets_size = 0;
+    std::size_t attempts_size = 0;
+    std::vector<std::pair<std::size_t, PacketRecord>> open_packets;
+    std::vector<std::pair<std::uint64_t, std::size_t>> open_records;
+    std::uint64_t in_service_id = 0;
+  };
+
+  void SaveState(State& out) const {
+    queue_.SaveState(out.queue);
+    out.packets_size = log_.Packets().size();
+    out.attempts_size = log_.Attempts().size();
+    out.open_records.assign(open_records_->begin(), open_records_->end());
+    out.open_packets.clear();
+    for (const OpenRecord& open : *open_records_) {
+      out.open_packets.emplace_back(open.second, log_.Packets()[open.second]);
+    }
+    out.in_service_id = in_service_id_;
+  }
+
+  void RestoreState(const State& state) {
+    queue_.RestoreState(state.queue);
+    // Closed records never mutate again, so truncating the append tail and
+    // rewriting the then-open records restores the log exactly.
+    log_.Truncate(state.packets_size, state.attempts_size);
+    for (const auto& [index, record] : state.open_packets) {
+      log_.MutablePacket(index) = record;
+    }
+    open_records_->assign(state.open_records.begin(),
+                          state.open_records.end());
+    in_service_id_ = state.in_service_id;
+  }
+
  private:
   void ServeNext();
   void OnSendDone(const mac::SendResult& result);

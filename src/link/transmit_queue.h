@@ -75,6 +75,36 @@ class TransmitQueue {
   /// before attaching are carried over; nullptr detaches.
   void AttachCounters(trace::CounterRegistry* registry);
 
+  /// Occupancy, tallies and a copy of the ring for speculative
+  /// save/restore. The ring is fixed-capacity, so the copy reuses the
+  /// image's storage across rounds (no steady-state allocation).
+  struct State {
+    std::vector<QueuedPacket> ring;
+    std::size_t head = 0;
+    std::size_t count = 0;
+    bool in_service = false;
+    std::uint64_t drops = 0;
+    std::uint64_t accepted = 0;
+  };
+
+  void SaveState(State& out) const {
+    out.ring.assign(ring_->begin(), ring_->end());
+    out.head = head_;
+    out.count = count_;
+    out.in_service = in_service_;
+    out.drops = drops_;
+    out.accepted = accepted_;
+  }
+
+  void RestoreState(const State& state) {
+    ring_->assign(state.ring.begin(), state.ring.end());
+    head_ = state.head;
+    count_ = state.count;
+    in_service_ = state.in_service;
+    drops_ = state.drops;
+    accepted_ = state.accepted;
+  }
+
  private:
   int capacity_;
   std::vector<QueuedPacket> own_storage_;

@@ -61,6 +61,38 @@ class CsmaMac final : public Mac {
     return cca_busy_;
   }
 
+  void SaveState(MacSnapshot& out) const override {
+    out.rng = rng_;
+    out.busy = busy_;
+    out.packet_id = packet_id_;
+    out.payload_bytes = payload_bytes_;
+    out.frame_bytes = frame_bytes_;
+    out.tries_done = tries_done_;
+    out.delivered_any = delivered_any_;
+    out.acked = acked_;
+    out.accepted_at = accepted_at_;
+    out.tx_energy_uj = tx_energy_uj_;
+    out.listen_time = listen_time_;
+    out.done = done_;
+    out.cca_busy = cca_busy_;
+  }
+
+  void RestoreState(const MacSnapshot& snapshot) override {
+    rng_ = snapshot.rng;
+    busy_ = snapshot.busy;
+    packet_id_ = snapshot.packet_id;
+    payload_bytes_ = snapshot.payload_bytes;
+    frame_bytes_ = snapshot.frame_bytes;
+    tries_done_ = snapshot.tries_done;
+    delivered_any_ = snapshot.delivered_any;
+    acked_ = snapshot.acked;
+    accepted_at_ = snapshot.accepted_at;
+    tx_energy_uj_ = snapshot.tx_energy_uj;
+    listen_time_ = snapshot.listen_time;
+    done_ = snapshot.done;
+    cca_busy_ = snapshot.cca_busy;
+  }
+
  private:
   void StartAttempt();
   void DoCca(int cca_retries_left);

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "node/node_stack.h"
+#include "node/timewarp.h"
 #include "sim/simulator.h"
 
 namespace wsnlink::node {
@@ -37,11 +38,8 @@ NetworkOptions UniformNetwork(const SimulationOptions& base,
   return network;
 }
 
-namespace {
+namespace detail {
 
-/// Folds a NodeSpec over the shared base options into the per-node
-/// SimulationOptions a NodeStack consumes, validating as the single-link
-/// runner always has.
 SimulationOptions ResolveNodeOptions(const NetworkOptions& options,
                                      const NodeSpec& spec) {
   SimulationOptions resolved = options.base;
@@ -64,66 +62,7 @@ SimulationOptions ResolveNodeOptions(const NetworkOptions& options,
   return resolved;
 }
 
-}  // namespace
-
-NetworkResult RunNetworkSimulation(const NetworkOptions& options) {
-  if (options.nodes.empty()) {
-    throw std::invalid_argument(
-        "RunNetworkSimulation: topology needs at least one node");
-  }
-
-  sim::Simulator simulator;
-
-  // The medium only exists when two or more senders can actually contend:
-  // a single node with a medium would pay the bookkeeping, lose the MAC
-  // fast path and gain nothing — and N=1 must stay bit-identical to the
-  // single-link simulation.
-  std::optional<channel::Medium> medium;
-  if (options.shared_medium && options.nodes.size() > 1) {
-    medium.emplace(options.capture_margin_db);
-  }
-
-  const util::Rng root(options.base.seed);
-  std::vector<std::unique_ptr<NodeStack>> stacks;
-  stacks.reserve(options.nodes.size());
-  for (std::size_t i = 0; i < options.nodes.size(); ++i) {
-    // Node 0 keeps the single-link lineage; later nodes branch off it, so
-    // growing the topology never disturbs the streams of existing nodes.
-    const util::Rng node_root =
-        i == 0 ? root : root.Derive("node-" + std::to_string(i));
-    stacks.push_back(std::make_unique<NodeStack>(
-        simulator, ResolveNodeOptions(options, options.nodes[i]), node_root,
-        medium ? &*medium : nullptr, static_cast<int>(i)));
-  }
-
-  // Observability: the kernel's counters are run-scoped (one simulator
-  // serves every node); each stack attaches its own registry and stamps
-  // its node id into the shared tracer's events.
-  trace::CounterRegistry run_registry;
-  trace::TraceContext run_ctx;
-  run_ctx.tracer = options.base.tracer;
-  run_ctx.counters = options.base.collect_counters ? &run_registry : nullptr;
-  if (run_ctx.Active()) simulator.AttachTrace(run_ctx);
-  for (auto& stack : stacks) {
-    stack->AttachTrace(options.base.tracer, options.base.collect_counters);
-  }
-
-  for (auto& stack : stacks) stack->Start();
-  simulator.Run();
-
-  NetworkResult result;
-  result.end_time = simulator.Now();
-  result.events_executed = simulator.EventsExecuted();
-  result.nodes.reserve(stacks.size());
-  for (auto& stack : stacks) {
-    result.nodes.push_back(
-        stack->Harvest(result.end_time, result.events_executed));
-  }
-  if (medium) {
-    result.medium = medium->Stats();
-    result.medium_active = true;
-  }
-
+void FinalizeNetworkAggregates(NetworkResult& result, bool collect_counters) {
   std::uint64_t failed_attempts = 0;
   for (const SimulationResult& node : result.nodes) {
     result.generated += static_cast<std::uint64_t>(node.generated);
@@ -147,8 +86,7 @@ NetworkResult RunNetworkSimulation(const NetworkOptions& options) {
                                  static_cast<double>(result.generated);
   }
 
-  if (options.base.collect_counters) {
-    result.run_counters = run_registry.Snapshot();
+  if (collect_counters) {
     std::vector<std::vector<trace::CounterSample>> snapshots;
     snapshots.reserve(result.nodes.size() + 1);
     for (const SimulationResult& node : result.nodes) {
@@ -167,6 +105,100 @@ NetworkResult RunNetworkSimulation(const NetworkOptions& options) {
                        result.medium.captures);
     }
   }
+}
+
+}  // namespace detail
+
+NetworkResult RunNetworkSimulation(const NetworkOptions& options) {
+  if (options.nodes.empty()) {
+    throw std::invalid_argument(
+        "RunNetworkSimulation: topology needs at least one node");
+  }
+  if (options.sim_threads < 1) {
+    throw std::invalid_argument(
+        "RunNetworkSimulation: sim_threads must be >= 1");
+  }
+
+  // The optimistic engine needs at least two nodes to partition, a null
+  // tracer (traced event streams are defined by the sequential
+  // interleaving) and a topology within the kernel's lane limit. Results
+  // are byte-identical either way — the engines differ only in wall-clock.
+  if (options.sim_threads > 1 && options.nodes.size() >= 2 &&
+      options.base.tracer == nullptr &&
+      options.nodes.size() <= sim::Simulator::kMaxLanes) {
+    return RunNetworkSimulationTimeWarp(
+        options, static_cast<unsigned>(options.sim_threads),
+        static_cast<unsigned>(options.sim_threads));
+  }
+
+  sim::Simulator simulator;
+  // Lane-structured event keys: same-time events tie-break by (node,
+  // per-node sequence) instead of global scheduling order, the invariant
+  // the parallel engine reproduces per-LP. Oversized topologies (beyond
+  // the 16-bit lane space) keep the legacy single-lane keys — they can
+  // only run sequentially anyway.
+  const bool laned = options.nodes.size() <= sim::Simulator::kMaxLanes;
+  if (laned) {
+    simulator.ConfigureLanes(static_cast<std::uint32_t>(options.nodes.size()));
+  }
+
+  // The medium only exists when two or more senders can actually contend:
+  // a single node with a medium would pay the bookkeeping, lose the MAC
+  // fast path and gain nothing — and N=1 must stay bit-identical to the
+  // single-link simulation.
+  std::optional<channel::Medium> medium;
+  if (options.shared_medium && options.nodes.size() > 1) {
+    medium.emplace(options.capture_margin_db);
+  }
+
+  const util::Rng root(options.base.seed);
+  std::vector<std::unique_ptr<NodeStack>> stacks;
+  stacks.reserve(options.nodes.size());
+  for (std::size_t i = 0; i < options.nodes.size(); ++i) {
+    // Node 0 keeps the single-link lineage; later nodes branch off it, so
+    // growing the topology never disturbs the streams of existing nodes.
+    const util::Rng node_root =
+        i == 0 ? root : root.Derive("node-" + std::to_string(i));
+    stacks.push_back(std::make_unique<NodeStack>(
+        simulator, detail::ResolveNodeOptions(options, options.nodes[i]),
+        node_root, medium ? &*medium : nullptr, static_cast<int>(i)));
+  }
+
+  // Observability: the kernel's counters are run-scoped (one simulator
+  // serves every node); each stack attaches its own registry and stamps
+  // its node id into the shared tracer's events.
+  trace::CounterRegistry run_registry;
+  trace::TraceContext run_ctx;
+  run_ctx.tracer = options.base.tracer;
+  run_ctx.counters = options.base.collect_counters ? &run_registry : nullptr;
+  if (run_ctx.Active()) simulator.AttachTrace(run_ctx);
+  for (auto& stack : stacks) {
+    stack->AttachTrace(options.base.tracer, options.base.collect_counters);
+  }
+
+  for (std::size_t i = 0; i < stacks.size(); ++i) {
+    if (laned) simulator.SetCurrentLane(static_cast<std::uint32_t>(i));
+    stacks[i]->Start();
+  }
+  simulator.Run();
+
+  NetworkResult result;
+  result.end_time = simulator.Now();
+  result.events_executed = simulator.EventsExecuted();
+  result.nodes.reserve(stacks.size());
+  for (auto& stack : stacks) {
+    result.nodes.push_back(
+        stack->Harvest(result.end_time, result.events_executed));
+  }
+  if (medium) {
+    result.medium = medium->Stats();
+    result.medium_active = true;
+  }
+
+  if (options.base.collect_counters) {
+    result.run_counters = run_registry.Snapshot();
+  }
+  detail::FinalizeNetworkAggregates(result, options.base.collect_counters);
   return result;
 }
 

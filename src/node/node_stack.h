@@ -76,6 +76,22 @@ class NodeStack {
     return *channel_;
   }
 
+  /// Every layer's mutable state plus this node's counter values — the
+  /// whole-stack image the optimistic engine saves before speculating and
+  /// restores on a causality violation. Pair with a simulator snapshot
+  /// taken at the same instant (pending events belong to the kernel).
+  struct Snapshot {
+    channel::Channel::State channel;
+    mac::MacSnapshot mac;
+    link::LinkLayer::State link;
+    app::PacketSink::State sink;
+    app::TrafficGenerator::State traffic;
+    std::vector<std::uint64_t> counters;
+  };
+
+  void SaveState(Snapshot& out) const;
+  void RestoreState(const Snapshot& snapshot);
+
  private:
   SimulationOptions options_;
   int node_id_;

@@ -1,0 +1,507 @@
+// wsnlint:hot-path — the speculate/validate/rollback/commit cycle is the
+// parallel engine's per-window inner loop. All round state (kernel
+// snapshots, stack snapshots, frame ledgers, read logs) lives in reusable
+// vectors that keep their capacity across windows, so steady-state rounds
+// run without touching the heap allocator; the no-hot-alloc rule keeps
+// that reuse honest at review time.
+#include "node/timewarp.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "channel/medium.h"
+#include "node/node_stack.h"
+#include "sim/simulator.h"
+#include "trace/counters.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace wsnlink::node {
+namespace {
+
+// Lookahead window sizing. The floor is one maximum frame airtime (half
+// the medium retention window), so a window always spans at least one
+// potential cross-LP interaction; the driver doubles the window after
+// conflict-free rounds and halves it when a round needs repeated repair
+// passes. Adaptation reads only committed facts (iteration counts), never
+// wall clocks, so the window trajectory — and a fortiori the committed
+// execution, which is window-invariant — is deterministic.
+constexpr sim::Duration kMinWindow = channel::kMediumRetentionWindow / 2;
+constexpr sim::Duration kInitialWindow = 4 * kMinWindow;
+constexpr sim::Duration kMaxWindow = 64 * kMinWindow;
+
+// A window converges in at most as many repair passes as it has
+// cross-LP-interacting events (each pass extends the sequential prefix by
+// at least one event key — see the fixpoint argument in
+// docs/ARCHITECTURE.md). Blowing through this cap therefore indicates a
+// detection bug, not a hard workload.
+constexpr unsigned kMaxWindowIterations = 1000;
+
+/// One radiated frame in a speculative or committed ledger. `reg_time` is
+/// the simulated time of the event that registered it (frames register at
+/// their own start in practice, but the engine never relies on that).
+struct TwFrame {
+  int node = 0;
+  sim::Time start = 0;
+  sim::Time end = 0;
+  double sink_rssi_dbm = 0.0;
+  sim::Time reg_time = 0;
+};
+
+/// Whether a speculative frame is visible to a query executing at
+/// (t_exec, q_node). Mirrors the kernel's lane-ordered key comparison at
+/// event granularity: node p's event at time T precedes node q's event at
+/// time T' exactly when (T, p) < (T', q), and a query sees precisely the
+/// frames registered by preceding events. Committed frames skip this
+/// filter — they predate GVT and every live query runs after it.
+[[nodiscard]] constexpr bool FrameVisible(const TwFrame& f, sim::Time t_exec,
+                                          int q_node) noexcept {
+  return f.reg_time < t_exec || (f.reg_time == t_exec && f.node < q_node);
+}
+
+/// One logged medium query: enough to re-evaluate it against a different
+/// frame ledger and detect a causality violation. Results compare by bit
+/// pattern — any numeric drift is a divergence, not a rounding question.
+struct TwRead {
+  enum class Kind : std::uint8_t { kBusyAt, kStrongest };
+  Kind kind = Kind::kBusyAt;
+  int q_node = 0;
+  sim::Time t_exec = 0;
+  sim::Time a = 0;  ///< BusyAt: query instant; Strongest: interval start.
+  sim::Time b = 0;  ///< Strongest: interval end.
+  bool busy = false;
+  bool has_value = false;
+  std::uint64_t value_bits = 0;
+};
+
+/// Closed-open occupancy test over one ledger (Medium::BusyAt semantics).
+[[nodiscard]] bool AnyBusy(const std::vector<TwFrame>& frames, sim::Time t,
+                           sim::Time t_exec, int listener, bool speculative) {
+  for (const TwFrame& f : frames) {
+    if (f.node == listener) continue;
+    if (speculative && !FrameVisible(f, t_exec, listener)) continue;
+    if (f.start <= t && t < f.end) return true;
+  }
+  return false;
+}
+
+/// Open-interval strongest-overlap fold over one ledger
+/// (Medium::StrongestOverlapDbm semantics; max is order-independent).
+void FoldStrongest(const std::vector<TwFrame>& frames, sim::Time start,
+                   sim::Time end, int node, sim::Time t_exec, bool speculative,
+                   std::optional<double>& strongest) {
+  for (const TwFrame& f : frames) {
+    if (f.node == node) continue;
+    if (speculative && !FrameVisible(f, t_exec, node)) continue;
+    if (f.start < end && f.end > start) {
+      if (!strongest || f.sink_rssi_dbm > *strongest) {
+        strongest = f.sink_rssi_dbm;
+      }
+    }
+  }
+}
+
+/// Per-LP view of the shared medium: answers the stack's queries from the
+/// committed ledger, the other LPs' previous-pass frames and its own live
+/// frames, and logs every answer for post-window validation. RNG-free like
+/// the sequential Medium, so attaching a view never perturbs a stack's
+/// random streams.
+class TwMediumView final : public channel::Medium {
+ public:
+  TwMediumView(double capture_margin_db, std::size_t lp,
+               const sim::Simulator* sim,
+               const std::vector<TwFrame>* committed,
+               const std::vector<std::vector<TwFrame>>* stable)
+      : channel::Medium(capture_margin_db),
+        lp_(lp),
+        sim_(sim),
+        committed_(committed),
+        stable_(stable) {}
+
+  /// Clears the speculative round state (capacity kept).
+  void BeginRound() {
+    frames_.clear();
+    reads_.clear();
+    delta_ = {};
+  }
+
+  void Begin(int node, sim::Time start, sim::Time end,
+             double sink_rssi_dbm) override {
+    if (end <= start) {
+      throw std::invalid_argument("Medium::Begin: frame must have end > start");
+    }
+    frames_.push_back({node, start, end, sink_rssi_dbm, sim_->Now()});
+    ++delta_.frames;
+  }
+
+  bool BusyAt(sim::Time t, int listener) override {
+    const sim::Time t_exec = sim_->Now();
+    bool busy = AnyBusy(*committed_, t, t_exec, listener, false);
+    for (std::size_t lp = 0; !busy && lp < stable_->size(); ++lp) {
+      if (lp == lp_) continue;
+      busy = AnyBusy((*stable_)[lp], t, t_exec, listener, true);
+    }
+    if (!busy) busy = AnyBusy(frames_, t, t_exec, listener, true);
+    if (busy) ++delta_.busy_hits;
+    TwRead read;
+    read.q_node = listener;
+    read.t_exec = t_exec;
+    read.a = t;
+    read.busy = busy;
+    reads_.push_back(read);
+    return busy;
+  }
+
+  std::optional<double> StrongestOverlapDbm(sim::Time start, sim::Time end,
+                                            int node) const override {
+    const sim::Time t_exec = sim_->Now();
+    std::optional<double> strongest;
+    FoldStrongest(*committed_, start, end, node, t_exec, false, strongest);
+    for (std::size_t lp = 0; lp < stable_->size(); ++lp) {
+      if (lp == lp_) continue;
+      FoldStrongest((*stable_)[lp], start, end, node, t_exec, true, strongest);
+    }
+    FoldStrongest(frames_, start, end, node, t_exec, true, strongest);
+    TwRead read;
+    read.kind = TwRead::Kind::kStrongest;
+    read.q_node = node;
+    read.t_exec = t_exec;
+    read.a = start;
+    read.b = end;
+    read.has_value = strongest.has_value();
+    if (strongest) read.value_bits = std::bit_cast<std::uint64_t>(*strongest);
+    reads_.push_back(read);
+    return strongest;
+  }
+
+  void NoteCollision(bool captured) noexcept override {
+    ++delta_.collisions;
+    if (captured) ++delta_.captures;
+  }
+
+  [[nodiscard]] const std::vector<TwFrame>& Frames() const noexcept {
+    return frames_;
+  }
+  [[nodiscard]] const std::vector<TwRead>& Reads() const noexcept {
+    return reads_;
+  }
+  [[nodiscard]] const channel::MediumStats& Delta() const noexcept {
+    return delta_;
+  }
+
+ private:
+  std::size_t lp_;
+  const sim::Simulator* sim_;
+  const std::vector<TwFrame>* committed_;
+  const std::vector<std::vector<TwFrame>>* stable_;
+  std::vector<TwFrame> frames_;
+  // The read log grows inside const queries (StrongestOverlapDbm is a pure
+  // lookup to the stacks; the log is engine bookkeeping).
+  mutable std::vector<TwRead> reads_;
+  channel::MediumStats delta_;
+};
+
+/// One logical process: a private event kernel carrying a contiguous node
+/// range, its medium view, a run-scoped counter registry (the kernel's
+/// sim.* series) and the reusable snapshot storage the rollback path
+/// restores from.
+struct Lp {
+  Lp(double capture_margin_db, std::size_t index,
+     const std::vector<TwFrame>* committed,
+     const std::vector<std::vector<TwFrame>>* stable)
+      : view(capture_margin_db, index, &sim, committed, stable) {}
+
+  Lp(const Lp&) = delete;
+  Lp& operator=(const Lp&) = delete;
+
+  sim::Simulator sim;
+  TwMediumView view;
+  // deque: stacks are immovable (they hand out internal pointers) and the
+  // hot-path rule forbids per-stack heap handles.
+  std::deque<NodeStack> stacks;
+  int first_node = 0;
+  trace::CounterRegistry run_registry;
+  sim::Simulator::Snapshot sim_snap;
+  std::vector<NodeStack::Snapshot> stack_snaps;
+  std::vector<std::uint64_t> run_counter_snap;
+  bool needs_run = true;
+  bool valid = true;
+  std::string error;
+};
+
+/// Re-evaluates every logged query of `view` against the committed ledger
+/// plus every LP's final frames for this pass. The uniform key filter
+/// reproduces exactly the visible set of the sequential interleaving, so a
+/// mismatch — compared bit for bit — is precisely a causality violation.
+[[nodiscard]] bool ReadsStillHold(const TwMediumView& view,
+                                  const std::vector<TwFrame>& committed,
+                                  const std::deque<Lp>& lps) {
+  for (const TwRead& r : view.Reads()) {
+    if (r.kind == TwRead::Kind::kBusyAt) {
+      bool busy = AnyBusy(committed, r.a, r.t_exec, r.q_node, false);
+      for (std::size_t i = 0; !busy && i < lps.size(); ++i) {
+        busy = AnyBusy(lps[i].view.Frames(), r.a, r.t_exec, r.q_node, true);
+      }
+      if (busy != r.busy) return false;
+    } else {
+      std::optional<double> strongest;
+      FoldStrongest(committed, r.a, r.b, r.q_node, r.t_exec, false, strongest);
+      for (const Lp& other : lps) {
+        FoldStrongest(other.view.Frames(), r.a, r.b, r.q_node, r.t_exec, true,
+                      strongest);
+      }
+      if (strongest.has_value() != r.has_value) return false;
+      if (strongest &&
+          std::bit_cast<std::uint64_t>(*strongest) != r.value_bits) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Runs `fn` over every LP on the shared pool. ParallelFor is a barrier,
+/// so each phase (snapshot, speculate, validate) sees the previous one
+/// completed; exceptions are captured per-LP (pool tasks must not throw)
+/// and rethrown serially.
+template <typename Fn>
+void RunOnAll(util::ThreadPool& pool, std::deque<Lp>& lps,
+              unsigned max_parallel, const Fn& fn) {
+  std::atomic<bool> failed{false};
+  pool.ParallelFor(lps.size(), 1, max_parallel, [&](std::size_t i) {
+    try {
+      fn(lps[i]);
+    } catch (const std::exception& e) {
+      lps[i].error = e.what();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  });
+  if (failed.load(std::memory_order_relaxed)) {
+    for (const Lp& lp : lps) {
+      if (!lp.error.empty()) {
+        throw std::runtime_error("RunNetworkSimulationTimeWarp: LP fault: " +
+                                 lp.error);
+      }
+    }
+  }
+}
+
+/// The windowed optimistic driver: speculate each window, repair until the
+/// read logs reach the (unique) fixpoint, commit, advance GVT, fossil-
+/// collect, adapt the window.
+void RunWindows(std::deque<Lp>& lps, std::vector<std::vector<TwFrame>>& stable,
+                std::vector<TwFrame>& committed,
+                channel::MediumStats& medium_stats, util::ThreadPool& pool,
+                unsigned max_parallel) {
+  sim::Duration window = kInitialWindow;
+  while (true) {
+    // Skip-ahead GVT: the window starts at the earliest pending event
+    // anywhere, so idle stretches (low duty cycles, LPL sleep) cost no
+    // empty rounds.
+    bool any = false;
+    sim::Time next = 0;
+    for (Lp& lp : lps) {
+      sim::Time at = 0;
+      if (lp.sim.PeekNextEventAt(at) && (!any || at < next)) {
+        any = true;
+        next = at;
+      }
+    }
+    if (!any) break;
+    const sim::Time window_end = next + window;  // executes events at <= end
+
+    // Snapshot every LP at the window top (the rollback anchor) and reset
+    // the speculative round state.
+    RunOnAll(pool, lps, max_parallel, [](Lp& lp) {
+      lp.sim.SaveState(lp.sim_snap);
+      for (std::size_t j = 0; j < lp.stacks.size(); ++j) {
+        lp.stacks[j].SaveState(lp.stack_snaps[j]);
+      }
+      lp.run_registry.SaveValues(lp.run_counter_snap);
+      lp.view.BeginRound();
+      lp.needs_run = true;
+      lp.valid = true;
+    });
+    for (std::vector<TwFrame>& frames : stable) frames.clear();
+
+    unsigned iterations = 0;
+    while (true) {
+      ++iterations;
+      if (iterations > kMaxWindowIterations) {
+        throw std::logic_error(
+            "RunNetworkSimulationTimeWarp: window failed to converge in " +
+            std::to_string(kMaxWindowIterations) +
+            " passes — causality detection bug");
+      }
+      const bool first_pass = iterations == 1;
+      // Speculate: every LP that needs (re-)execution rolls back to the
+      // window-top snapshot and runs its events against the stable view of
+      // everyone's previous pass.
+      RunOnAll(pool, lps, max_parallel, [first_pass, window_end](Lp& lp) {
+        if (!lp.needs_run) return;
+        if (!first_pass) {
+          lp.sim.RestoreState(lp.sim_snap);
+          for (std::size_t j = 0; j < lp.stacks.size(); ++j) {
+            lp.stacks[j].RestoreState(lp.stack_snaps[j]);
+          }
+          lp.run_registry.RestoreValues(lp.run_counter_snap);
+          lp.view.BeginRound();
+        }
+        sim::Time at = 0;
+        while (lp.sim.PeekNextEventAt(at) && at <= window_end) lp.sim.Step();
+      });
+      // Validate: every LP's reads (including the ones that did not rerun)
+      // against everyone's final frames for this pass.
+      RunOnAll(pool, lps, max_parallel, [&committed, &lps](Lp& lp) {
+        lp.valid = ReadsStillHold(lp.view, committed, lps);
+      });
+      bool all_valid = true;
+      for (const Lp& lp : lps) all_valid = all_valid && lp.valid;
+      if (all_valid) break;
+      // Publish this pass's frames as the next pass's stable view and mark
+      // the violated LPs for re-execution.
+      for (std::size_t i = 0; i < lps.size(); ++i) {
+        const std::vector<TwFrame>& frames = lps[i].view.Frames();
+        stable[i].assign(frames.begin(), frames.end());
+        lps[i].needs_run = !lps[i].valid;
+      }
+    }
+
+    // Commit: the window reached its fixpoint, which is the sequential
+    // execution of (GVT, window_end]. Frames join the committed ledger in
+    // LP order and the per-view statistics deltas fold into the run totals
+    // — rolled-back passes left no trace in either.
+    for (Lp& lp : lps) {
+      const std::vector<TwFrame>& frames = lp.view.Frames();
+      committed.insert(committed.end(), frames.begin(), frames.end());
+      medium_stats.frames += lp.view.Delta().frames;
+      medium_stats.busy_hits += lp.view.Delta().busy_hits;
+      medium_stats.collisions += lp.view.Delta().collisions;
+      medium_stats.captures += lp.view.Delta().captures;
+    }
+    const sim::Time gvt = window_end;
+    // Fossil collection: queries look back at most one retention window
+    // from their execution instant, and every future query runs after GVT.
+    if (gvt > channel::kMediumRetentionWindow) {
+      const sim::Time horizon = gvt - channel::kMediumRetentionWindow;
+      std::erase_if(committed,
+                    [horizon](const TwFrame& f) { return f.end < horizon; });
+    }
+    if (iterations > 2) {
+      window = std::max(kMinWindow, window / 2);
+    } else if (iterations == 1) {
+      window = std::min(kMaxWindow, window * 2);
+    }
+  }
+}
+
+}  // namespace
+
+NetworkResult RunNetworkSimulationTimeWarp(const NetworkOptions& options,
+                                           unsigned lp_count,
+                                           unsigned max_parallel) {
+  const std::size_t node_count = options.nodes.size();
+  if (node_count < 2) {
+    throw std::logic_error(
+        "RunNetworkSimulationTimeWarp: needs at least two nodes");
+  }
+  lp_count = static_cast<unsigned>(
+      std::min<std::size_t>(lp_count, node_count));
+  if (lp_count < 1) lp_count = 1;
+  if (max_parallel < 1) max_parallel = 1;
+  const bool contended = options.shared_medium && node_count > 1;
+  const bool collect = options.base.collect_counters;
+
+  std::vector<TwFrame> committed;
+  std::vector<std::vector<TwFrame>> stable(lp_count);
+  std::deque<Lp> lps;
+
+  // Contiguous block partition; every LP declares the full lane table so
+  // node i's events carry the same (time, lane, lane-sequence) keys they
+  // would on the sequential kernel.
+  const util::Rng root(options.base.seed);
+  const std::size_t base_size = node_count / lp_count;
+  const std::size_t remainder = node_count % lp_count;
+  std::size_t next_node = 0;
+  for (unsigned i = 0; i < lp_count; ++i) {
+    Lp& lp = lps.emplace_back(options.capture_margin_db,
+                              static_cast<std::size_t>(i), &committed,
+                              &stable);
+    lp.first_node = static_cast<int>(next_node);
+    lp.sim.ConfigureLanes(static_cast<std::uint32_t>(node_count));
+    const std::size_t size = base_size + (i < remainder ? 1 : 0);
+    for (std::size_t j = 0; j < size; ++j, ++next_node) {
+      // Same per-node lineage as the sequential engine: node 0 keeps the
+      // single-link root, later nodes branch off it.
+      const util::Rng node_root =
+          next_node == 0 ? root
+                         : root.Derive("node-" + std::to_string(next_node));
+      lp.stacks.emplace_back(
+          lp.sim, detail::ResolveNodeOptions(options, options.nodes[next_node]),
+          node_root, contended ? &lp.view : nullptr,
+          static_cast<int>(next_node));
+    }
+    lp.stack_snaps.resize(lp.stacks.size());
+    trace::TraceContext run_ctx;
+    run_ctx.counters = collect ? &lp.run_registry : nullptr;
+    if (run_ctx.Active()) lp.sim.AttachTrace(run_ctx);
+    for (NodeStack& stack : lp.stacks) stack.AttachTrace(nullptr, collect);
+  }
+
+  // Schedule each node's first arrival under its own lane (the only
+  // scheduling that happens outside an event).
+  for (Lp& lp : lps) {
+    for (std::size_t j = 0; j < lp.stacks.size(); ++j) {
+      lp.sim.SetCurrentLane(
+          static_cast<std::uint32_t>(lp.first_node) +
+          static_cast<std::uint32_t>(j));
+      lp.stacks[j].Start();
+    }
+  }
+
+  util::ThreadPool& pool = util::ThreadPool::Shared();
+  channel::MediumStats medium_stats;
+  if (contended) {
+    RunWindows(lps, stable, committed, medium_stats, pool, max_parallel);
+  } else {
+    // Private-air stacks never interact: each LP runs to completion in one
+    // pass, no speculation and no snapshots.
+    RunOnAll(pool, lps, max_parallel, [](Lp& lp) { lp.sim.Run(); });
+  }
+
+  NetworkResult result;
+  for (Lp& lp : lps) {
+    result.end_time = std::max(result.end_time, lp.sim.LastEventAt());
+    result.events_executed += lp.sim.EventsExecuted();
+  }
+  result.nodes.reserve(node_count);
+  for (Lp& lp : lps) {
+    for (NodeStack& stack : lp.stacks) {
+      result.nodes.push_back(
+          stack.Harvest(result.end_time, result.events_executed));
+    }
+  }
+  if (contended) {
+    result.medium = medium_stats;
+    result.medium_active = true;
+  }
+  if (collect) {
+    std::vector<std::vector<trace::CounterSample>> run_snapshots;
+    run_snapshots.reserve(lps.size());
+    for (Lp& lp : lps) run_snapshots.push_back(lp.run_registry.Snapshot());
+    result.run_counters = trace::MergeCounters(run_snapshots);
+  }
+  detail::FinalizeNetworkAggregates(result, collect);
+  return result;
+}
+
+}  // namespace wsnlink::node

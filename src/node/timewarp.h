@@ -1,0 +1,40 @@
+// Optimistic (Time-Warp style) parallel engine for the network simulation.
+//
+// Partitions the topology into logical processes (LPs) of contiguous node
+// ranges, each with its own event kernel and local virtual time, and runs
+// them speculatively on the shared work-stealing pool in bounded lookahead
+// windows. Causality violations are detected through the shared-medium
+// ledger: every LP executes against a per-LP Medium view that records the
+// frames it radiates and the queries it answers; after each window the
+// logged reads are re-evaluated against everyone's frames and any LP whose
+// answers changed rolls back (kernel snapshot + per-node stack snapshots +
+// counter values, all RNG lineages included) and re-executes. When the
+// window reaches a fixpoint it commits: frames move to the committed
+// ledger, medium statistics fold into the run totals, GVT advances to the
+// window edge and frames beyond any future query's reach are fossil-
+// collected (channel::kMediumRetentionWindow).
+//
+// Bit-identity contract: the kernel's lane-structured event keys
+// (sim/simulator.h) make same-time event order a pure function of
+// (time, node, per-node sequence) — independent of which simulator runs
+// the node — and the view's visibility filter admits exactly the frames a
+// query would have seen in the sequential interleaving. The committed
+// execution is therefore *identical* to the one-kernel run: results,
+// per-packet logs, counters and medium statistics match byte for byte for
+// every LP count and thread count, including --sim-threads 1.
+#pragma once
+
+#include "node/network_simulation.h"
+
+namespace wsnlink::node {
+
+/// Runs `options` through the optimistic LP engine with `lp_count` logical
+/// processes executing on at most `max_parallel` threads. Requires at least
+/// two nodes, a null tracer (event traces need the sequential interleaving)
+/// and nodes.size() within the kernel's lane limit; RunNetworkSimulation
+/// checks all of that before dispatching here. Results are byte-identical
+/// to the sequential engine.
+[[nodiscard]] NetworkResult RunNetworkSimulationTimeWarp(
+    const NetworkOptions& options, unsigned lp_count, unsigned max_parallel);
+
+}  // namespace wsnlink::node

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <string>
 
 namespace wsnlink::trace {
@@ -37,6 +38,15 @@ CounterRegistry::Id CounterRegistry::Register(std::string_view name) {
   epochs_.push_back(epoch_);
   index_.emplace(names_.back(), id);
   return id;
+}
+
+void CounterRegistry::RestoreValues(const std::vector<std::uint64_t>& saved) {
+  if (saved.size() != values_.size()) {
+    throw std::logic_error(
+        "CounterRegistry::RestoreValues: counters registered since the "
+        "save (wire every layer before the run starts)");
+  }
+  std::copy(saved.begin(), saved.end(), values_.begin());
 }
 
 std::uint64_t CounterRegistry::Value(std::string_view name) const noexcept {

@@ -1,0 +1,401 @@
+// Optimistic parallel engine tests.
+//
+// The engine's whole contract is bit-identity: RunNetworkSimulation with
+// --sim-threads N must produce byte-for-byte the results of the
+// sequential kernel, for every N, both MACs, contended and private-air
+// topologies — down to per-packet logs, per-node counters, medium
+// statistics and aggregate counter snapshots. The TimeWarp suite pins the
+// rollback substrate itself (kernel snapshots with lane-ordered keys, the
+// whole-stack save/restore path including RNG lineages and counters) and
+// the checkpoint/resume flow through the parallel engine; the
+// ParallelNetwork suite pins engine-vs-sequential equivalence. Both run
+// under TSan in CI (the optimistic scheduler is the racy-by-construction
+// part of the codebase).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "experiment/checkpoint.h"
+#include "experiment/contention.h"
+#include "experiment/sweep.h"
+#include "node/network_simulation.h"
+#include "node/node_stack.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace wsnlink {
+namespace {
+
+node::SimulationOptions ContendedBase() {
+  node::SimulationOptions options;
+  options.config.distance_m = 20.0;
+  options.config.pa_level = 19;
+  options.config.max_tries = 3;
+  options.config.queue_capacity = 5;
+  options.config.pkt_interval_ms = 25.0;
+  options.config.payload_bytes = 110;
+  options.seed = 1234;
+  options.packet_count = 150;
+  // Quiet ambient bursts and no synthetic interferer: every conflict the
+  // engine has to detect comes from the contenders themselves.
+  options.disable_interference = true;
+  options.interferer_duty_cycle = 0.0;
+  return options;
+}
+
+node::NetworkOptions ContendedNetwork(int nodes, int sim_threads) {
+  auto network = node::UniformNetwork(ContendedBase(),
+                                      std::vector<double>(nodes, 20.0));
+  network.sim_threads = sim_threads;
+  return network;
+}
+
+void ExpectNodesIdentical(const node::SimulationResult& a,
+                          const node::SimulationResult& b, int node) {
+  EXPECT_EQ(a.generated, b.generated) << "node " << node;
+  EXPECT_EQ(a.unique_delivered, b.unique_delivered) << "node " << node;
+  EXPECT_EQ(a.duplicates, b.duplicates) << "node " << node;
+  EXPECT_EQ(a.unique_payload_bytes, b.unique_payload_bytes) << "node " << node;
+  EXPECT_EQ(a.last_delivery_at, b.last_delivery_at) << "node " << node;
+  EXPECT_EQ(a.end_time, b.end_time) << "node " << node;
+  EXPECT_EQ(a.events_executed, b.events_executed) << "node " << node;
+  EXPECT_EQ(a.cca_busy, b.cca_busy) << "node " << node;
+  EXPECT_EQ(a.receiver_idle_duty, b.receiver_idle_duty) << "node " << node;
+  // Bit-exact double comparison is intentional across the board: same
+  // seed, same order of operations — any drift is an equivalence bug.
+  EXPECT_EQ(a.mean_snr_db, b.mean_snr_db) << "node " << node;
+  ASSERT_EQ(a.rssi_stats.Count(), b.rssi_stats.Count()) << "node " << node;
+  if (a.rssi_stats.Count() > 0) {
+    EXPECT_EQ(a.rssi_stats.Mean(), b.rssi_stats.Mean()) << "node " << node;
+    EXPECT_EQ(a.snr_stats.Mean(), b.snr_stats.Mean()) << "node " << node;
+    EXPECT_EQ(a.lqi_stats.Mean(), b.lqi_stats.Mean()) << "node " << node;
+  }
+  EXPECT_EQ(a.counters, b.counters) << "node " << node;
+
+  ASSERT_EQ(a.log.Packets().size(), b.log.Packets().size()) << "node " << node;
+  for (std::size_t i = 0; i < a.log.Packets().size(); ++i) {
+    const auto& pa = a.log.Packets()[i];
+    const auto& pb = b.log.Packets()[i];
+    EXPECT_EQ(pa.id, pb.id) << "node " << node << " packet " << i;
+    EXPECT_EQ(pa.arrived_at, pb.arrived_at) << "node " << node << " pkt " << i;
+    EXPECT_EQ(pa.dropped_at_queue, pb.dropped_at_queue)
+        << "node " << node << " pkt " << i;
+    EXPECT_EQ(pa.service_start, pb.service_start)
+        << "node " << node << " pkt " << i;
+    EXPECT_EQ(pa.completed_at, pb.completed_at)
+        << "node " << node << " pkt " << i;
+    EXPECT_EQ(pa.acked, pb.acked) << "node " << node << " pkt " << i;
+    EXPECT_EQ(pa.delivered, pb.delivered) << "node " << node << " pkt " << i;
+    EXPECT_EQ(pa.tries, pb.tries) << "node " << node << " pkt " << i;
+    EXPECT_EQ(pa.tx_energy_uj, pb.tx_energy_uj)
+        << "node " << node << " pkt " << i;
+    EXPECT_EQ(pa.listen_time, pb.listen_time)
+        << "node " << node << " pkt " << i;
+    EXPECT_EQ(pa.first_delivered_at, pb.first_delivered_at)
+        << "node " << node << " pkt " << i;
+    EXPECT_EQ(pa.rssi_dbm, pb.rssi_dbm) << "node " << node << " pkt " << i;
+  }
+  ASSERT_EQ(a.log.Attempts().size(), b.log.Attempts().size())
+      << "node " << node;
+  for (std::size_t i = 0; i < a.log.Attempts().size(); ++i) {
+    const auto& aa = a.log.Attempts()[i];
+    const auto& ab = b.log.Attempts()[i];
+    EXPECT_EQ(aa.packet_id, ab.packet_id) << "node " << node << " att " << i;
+    EXPECT_EQ(aa.attempt, ab.attempt) << "node " << node << " att " << i;
+    EXPECT_EQ(aa.at, ab.at) << "node " << node << " att " << i;
+    EXPECT_EQ(aa.data_received, ab.data_received)
+        << "node " << node << " att " << i;
+    EXPECT_EQ(aa.acked, ab.acked) << "node " << node << " att " << i;
+    EXPECT_EQ(aa.snr_db, ab.snr_db) << "node " << node << " att " << i;
+  }
+}
+
+void ExpectNetworksIdentical(const node::NetworkResult& a,
+                             const node::NetworkResult& b) {
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.medium_active, b.medium_active);
+  EXPECT_EQ(a.medium.frames, b.medium.frames);
+  EXPECT_EQ(a.medium.busy_hits, b.medium.busy_hits);
+  EXPECT_EQ(a.medium.collisions, b.medium.collisions);
+  EXPECT_EQ(a.medium.captures, b.medium.captures);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered_unique, b.delivered_unique);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.acked_packets, b.acked_packets);
+  EXPECT_EQ(a.queue_drops, b.queue_drops);
+  EXPECT_EQ(a.cca_busy, b.cca_busy);
+  EXPECT_EQ(a.per, b.per);
+  EXPECT_EQ(a.plr_total, b.plr_total);
+  EXPECT_EQ(a.run_counters, b.run_counters);
+  EXPECT_EQ(a.aggregate_counters, b.aggregate_counters);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    ExpectNodesIdentical(a.nodes[i], b.nodes[i], static_cast<int>(i));
+  }
+}
+
+// --- engine vs sequential equivalence ---------------------------------
+
+TEST(ParallelNetwork, ThreadsOneVsEightBitIdenticalCsma) {
+  for (const int nodes : {2, 4, 8}) {
+    const auto seq = node::RunNetworkSimulation(ContendedNetwork(nodes, 1));
+    const auto par = node::RunNetworkSimulation(ContendedNetwork(nodes, 8));
+    // The contended rungs must actually exercise conflict detection, or
+    // this test proves nothing about speculation.
+    EXPECT_GT(seq.cca_busy, 0u) << "nodes " << nodes;
+    ExpectNetworksIdentical(seq, par);
+  }
+}
+
+TEST(ParallelNetwork, ThreadsOneVsEightBitIdenticalLpl) {
+  auto base = ContendedBase();
+  base.mac = node::MacKind::kLpl;
+  base.lpl_wakeup_interval_ms = 50.0;
+  base.config.pkt_interval_ms = 100.0;
+  base.packet_count = 60;
+  for (const int nodes : {2, 4}) {
+    auto network =
+        node::UniformNetwork(base, std::vector<double>(nodes, 20.0));
+    const auto seq = node::RunNetworkSimulation(network);
+    network.sim_threads = 8;
+    const auto par = node::RunNetworkSimulation(network);
+    ExpectNetworksIdentical(seq, par);
+  }
+}
+
+TEST(ParallelNetwork, EveryThreadCountAgrees) {
+  const auto reference = node::RunNetworkSimulation(ContendedNetwork(5, 1));
+  // Covers lp_count < nodes, lp_count == nodes and the lp_count > nodes
+  // clamp in one sweep.
+  for (const int threads : {2, 3, 5, 16}) {
+    const auto par =
+        node::RunNetworkSimulation(ContendedNetwork(5, threads));
+    ExpectNetworksIdentical(reference, par);
+  }
+}
+
+TEST(ParallelNetwork, UncontendedPrivateAirMatchesSequential) {
+  auto network = ContendedNetwork(4, 1);
+  network.shared_medium = false;
+  const auto seq = node::RunNetworkSimulation(network);
+  network.sim_threads = 4;
+  const auto par = node::RunNetworkSimulation(network);
+  EXPECT_FALSE(par.medium_active);
+  ExpectNetworksIdentical(seq, par);
+}
+
+// Rolled-back speculation must leave no trace in any counter: the
+// sequential and parallel aggregate snapshots (mac.cca_busy, link.*,
+// sim.* and the medium.* samples) must agree exactly.
+TEST(ParallelNetwork, CountersCarryNoRolledBackWork) {
+  const auto seq = node::RunNetworkSimulation(ContendedNetwork(3, 1));
+  const auto par = node::RunNetworkSimulation(ContendedNetwork(3, 8));
+  ASSERT_FALSE(seq.aggregate_counters.empty());
+  EXPECT_EQ(seq.aggregate_counters, par.aggregate_counters);
+  EXPECT_EQ(seq.run_counters, par.run_counters);
+  ASSERT_EQ(seq.nodes.size(), par.nodes.size());
+  for (std::size_t i = 0; i < seq.nodes.size(); ++i) {
+    EXPECT_EQ(seq.nodes[i].counters, par.nodes[i].counters) << "node " << i;
+  }
+}
+
+TEST(ParallelNetwork, TracerForcesSequentialEngine) {
+  trace::Tracer traced_seq;
+  trace::Tracer traced_par;
+  auto a = ContendedNetwork(3, 1);
+  a.base.tracer = &traced_seq;
+  auto b = ContendedNetwork(3, 8);  // tracer attached: must fall back
+  b.base.tracer = &traced_par;
+  const auto ra = node::RunNetworkSimulation(a);
+  const auto rb = node::RunNetworkSimulation(b);
+  ExpectNetworksIdentical(ra, rb);
+  EXPECT_EQ(traced_seq.Events(), traced_par.Events());
+}
+
+TEST(ParallelNetwork, RejectsNonPositiveSimThreads) {
+  auto network = ContendedNetwork(2, 0);
+  EXPECT_THROW(node::RunNetworkSimulation(network), std::invalid_argument);
+}
+
+TEST(ParallelNetwork, ContentionSweepSimThreadsInvariance) {
+  experiment::ContentionOptions options;
+  options.config.distance_m = 20.0;
+  options.config.pkt_interval_ms = 25.0;
+  options.node_counts = {1, 2, 4};
+  options.base_seed = 77;
+  options.packet_count = 120;
+
+  auto serial = options;
+  serial.sim_threads = 1;
+  auto wide = options;
+  wide.sim_threads = 8;
+  const auto a = experiment::RunContentionSweep(serial);
+  const auto b = experiment::RunContentionSweep(wide);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(experiment::SerializeContentionRow(a[i]),
+              experiment::SerializeContentionRow(b[i]))
+        << "rung " << i;
+    EXPECT_EQ(a[i].result.aggregate_counters, b[i].result.aggregate_counters)
+        << "rung " << i;
+  }
+}
+
+// --- the rollback substrate -------------------------------------------
+
+void StepUntil(sim::Simulator& simulator, sim::Time until) {
+  sim::Time at = 0;
+  while (simulator.PeekNextEventAt(at) && at <= until) simulator.Step();
+}
+
+// A forced straggler: run a stack halfway, snapshot, speculate well past
+// the snapshot, then roll back and finish from the snapshot. If any state
+// leaks through the rollback — an RNG lineage, a counter, a queue slot, a
+// log record, a pending event key — the final results diverge from an
+// identical stack that never speculated.
+TEST(TimeWarp, RollbackRestoresRngLineageAndCountersExactly) {
+  auto options = ContendedBase();
+  options.packet_count = 120;
+  const util::Rng root(options.seed);
+
+  sim::Simulator sim_a;
+  node::NodeStack straight(sim_a, options, root, nullptr, 0);
+  straight.AttachTrace(nullptr, true);
+  straight.Start();
+  sim_a.Run();
+  auto expected = straight.Harvest(sim_a.Now(), sim_a.EventsExecuted());
+
+  sim::Simulator sim_b;
+  node::NodeStack straggler(sim_b, options, root, nullptr, 0);
+  straggler.AttachTrace(nullptr, true);
+  straggler.Start();
+  StepUntil(sim_b, sim::FromMilliseconds(800.0));
+
+  sim::Simulator::Snapshot kernel_snapshot;
+  node::NodeStack::Snapshot stack_snapshot;
+  sim_b.SaveState(kernel_snapshot);
+  straggler.SaveState(stack_snapshot);
+  const std::uint64_t executed_at_snapshot = sim_b.EventsExecuted();
+
+  // Speculate far beyond the snapshot, then discover the "violation".
+  StepUntil(sim_b, sim::FromMilliseconds(2200.0));
+  ASSERT_GT(sim_b.EventsExecuted(), executed_at_snapshot)
+      << "speculation executed nothing — the rollback is untested";
+  sim_b.RestoreState(kernel_snapshot);
+  straggler.RestoreState(stack_snapshot);
+  EXPECT_EQ(sim_b.EventsExecuted(), executed_at_snapshot);
+
+  sim_b.Run();
+  auto resumed = straggler.Harvest(sim_b.Now(), sim_b.EventsExecuted());
+  ExpectNodesIdentical(expected, resumed, 0);
+}
+
+// Kernel snapshots must restore pending events with their original
+// lane-ordered keys: after a rollback, same-time events still execute in
+// (lane, lane-sequence) order and follow-ups inherit their lane.
+TEST(TimeWarp, KernelSnapshotPreservesLaneOrderedKeys) {
+  sim::Simulator simulator;
+  simulator.ConfigureLanes(3);
+  std::vector<std::pair<sim::Time, int>> log;
+
+  simulator.SetCurrentLane(1);
+  simulator.ScheduleAt(10, [&] {
+    log.emplace_back(simulator.Now(), 1);
+    simulator.Schedule(5, [&] { log.emplace_back(simulator.Now(), 11); });
+  });
+  simulator.SetCurrentLane(2);
+  simulator.ScheduleAt(10, [&] { log.emplace_back(simulator.Now(), 2); });
+  simulator.SetCurrentLane(0);
+  simulator.ScheduleAt(10, [&] { log.emplace_back(simulator.Now(), 0); });
+
+  sim::Simulator::Snapshot snapshot;
+  simulator.SaveState(snapshot);
+  simulator.Run();
+  const std::vector<std::pair<sim::Time, int>> expected = {
+      {10, 0}, {10, 1}, {10, 2}, {15, 11}};
+  EXPECT_EQ(log, expected);
+
+  log.clear();
+  simulator.RestoreState(snapshot);
+  simulator.Run();
+  EXPECT_EQ(log, expected) << "replay after rollback diverged";
+}
+
+// --- checkpoint/resume through the parallel engine ---------------------
+
+// A contention campaign interrupted mid-ladder and resumed must emit the
+// same bytes as an uninterrupted sequential run: checkpointed rows are
+// stored verbatim, and the remaining rung — recomputed in isolation from
+// its stored seed, through the parallel engine — must reproduce the
+// sequential row exactly.
+TEST(TimeWarp, CheckpointResumeByteIdenticalWithParallelEngine) {
+  experiment::ContentionOptions options;
+  options.config.distance_m = 20.0;
+  options.config.pkt_interval_ms = 25.0;
+  options.node_counts = {2, 3, 4};
+  options.base_seed = 99;
+  options.packet_count = 100;
+
+  auto sequential = options;
+  sequential.sim_threads = 1;
+  const auto reference = experiment::RunContentionSweep(sequential);
+  ASSERT_EQ(reference.size(), 3u);
+
+  // "Crash" after the first two rungs of a parallel run: persist them.
+  auto interrupted = options;
+  interrupted.sim_threads = 8;
+  interrupted.node_counts = {2, 3};
+  const auto first_half = experiment::RunContentionSweep(interrupted);
+  experiment::Checkpoint checkpoint;
+  checkpoint.meta.base_seed = options.base_seed;
+  checkpoint.meta.packet_count = options.packet_count;
+  checkpoint.meta.stride = 1;
+  checkpoint.meta.space_size = options.node_counts.size();
+  checkpoint.meta.config_count = options.node_counts.size();
+  for (std::size_t i = 0; i < first_half.size(); ++i) {
+    experiment::CheckpointRow row;
+    row.index = i;
+    row.csv_row = experiment::SerializeContentionRow(first_half[i]);
+    checkpoint.rows.push_back(row);
+  }
+  const std::string path =
+      testing::TempDir() + "/wsnlink_timewarp_checkpoint.txt";
+  experiment::WriteCheckpoint(path, checkpoint);
+
+  // Resume: reload, then recompute rung 2 in isolation from its stored
+  // seed contract (SweepSeed(base, 2)), parallel engine on.
+  const auto loaded = experiment::ReadCheckpoint(path);
+  ASSERT_EQ(loaded.rows.size(), 2u);
+
+  node::SimulationOptions base;
+  base.config = options.config;
+  base.seed = experiment::SweepSeed(options.base_seed, 2);
+  base.packet_count = options.packet_count;
+  base.disable_interference = true;
+  base.interferer_duty_cycle = 0.0;
+  auto remainder = node::UniformNetwork(
+      base, std::vector<double>(4, options.config.distance_m));
+  remainder.sim_threads = 8;
+  experiment::ContentionPoint last;
+  last.nodes = 4;
+  last.seed = base.seed;
+  last.result = node::RunNetworkSimulation(remainder);
+
+  const std::vector<std::string> resumed = {
+      loaded.rows[0].csv_row, loaded.rows[1].csv_row,
+      experiment::SerializeContentionRow(last)};
+  for (std::size_t i = 0; i < resumed.size(); ++i) {
+    EXPECT_EQ(resumed[i],
+              experiment::SerializeContentionRow(reference[i]))
+        << "rung " << i;
+  }
+}
+
+}  // namespace
+}  // namespace wsnlink
