@@ -123,8 +123,10 @@ class PacketSink {
   /// Duplicate suppression: packet ids are small sequential integers, so a
   /// dense byte-per-id table beats a hash set on the delivery hot path.
   [[nodiscard]] bool MarkSeen(std::uint64_t packet_id);
+  // wsnstatic:transient(own_seen_, own_receptions_): default backing stores; live state sits behind seen_/receptions_, which Save/Restore round-trip
   std::vector<std::uint8_t> own_seen_;
   std::vector<ReceptionRecord> own_receptions_;
+  // wsnstatic:transient(seen_): RestoreState rewrites the pointee in place; the pointer itself is construction-time wiring
   std::vector<std::uint8_t>* seen_ = &own_seen_;
   std::vector<ReceptionRecord>* receptions_ = &own_receptions_;
   std::size_t unique_count_ = 0;
@@ -136,6 +138,7 @@ class PacketSink {
   util::RunningStats lqi_stats_;
 
   // Observability (null = off).
+  // wsnstatic:transient(counters_, id_rx_unique_, id_rx_duplicates_): trace wiring fixed at attach time; counter rollback is handled by the caller, not the snapshot
   trace::CounterRegistry* counters_ = nullptr;
   trace::CounterRegistry::Id id_rx_unique_ = 0;
   trace::CounterRegistry::Id id_rx_duplicates_ = 0;

@@ -80,12 +80,14 @@ class TrafficGenerator {
 
   sim::Simulator& sim_;
   link::LinkLayer& link_;
+  // wsnstatic:transient(params_): traffic configuration fixed at construction; never mutated during a run
   TrafficParams params_;
   util::Rng rng_;
   int generated_ = 0;
   std::uint64_t next_id_ = 1;
 
   // Observability (null = off).
+  // wsnstatic:transient(tracer_, counters_, node_, id_generated_): trace wiring fixed at attach time; counter rollback is handled by the caller, not the snapshot
   trace::Tracer* tracer_ = nullptr;
   trace::CounterRegistry* counters_ = nullptr;
   std::int32_t node_ = 0;

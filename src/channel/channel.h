@@ -187,16 +187,20 @@ class Channel {
   }
 
  private:
+  // wsnstatic:transient(config_, path_loss_): placement configuration fixed at construction; never mutated during a run
   ChannelConfig config_;
   PathLoss path_loss_;
+  // wsnstatic:transient(ber_owned_): owning slot for the BER model; the model itself is immutable after construction
   std::unique_ptr<BerModel> ber_owned_;  // empty in non-owning mode
   const BerModel* ber_;                  // always valid; what Transmit uses
   ShadowingProcess shadowing_;
   NoiseFloorProcess noise_;
   InterfererProcess interferer_;
+  // wsnstatic:transient(mobility_): pure function of sim time; holds no mutable state between calls
   MobilityModel mobility_;
   util::Rng loss_rng_;  // per-frame delivery coin flips
   util::Rng lqi_rng_;   // LQI measurement noise
+  // wsnstatic:transient(medium_, node_id_): construction-time wiring to the shared air; the medium owns its own rollback
   Medium* medium_ = nullptr;  // shared air (multi-node runs only)
   int node_id_ = 0;
 

@@ -70,6 +70,7 @@ class InterfererProcess {
  private:
   void AdvanceTo(sim::Time t);
 
+  // wsnstatic:transient(params_, enabled_): process configuration fixed at construction; never mutated during a run
   InterfererParams params_;
   util::Rng rng_;
   bool enabled_;

@@ -81,6 +81,7 @@ class NoiseFloorProcess {
   /// Advances the burst schedule so it covers `now`.
   void AdvanceBursts(sim::Time now);
 
+  // wsnstatic:transient(params_): process configuration fixed at construction; never mutated during a run
   NoiseParams params_;
   util::Rng rng_;
   // Current / next burst window.

@@ -70,6 +70,7 @@ class ShadowingProcess {
   }
 
  private:
+  // wsnstatic:transient(params_): process configuration fixed at construction; never mutated during a run
   ShadowingParams params_;
   util::Rng rng_;
   sim::Time last_time_ = 0;

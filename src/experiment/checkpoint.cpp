@@ -124,6 +124,9 @@ std::string_view VerifyChecksummedBody(std::string_view contents,
   return body;
 }
 
+// wsnstatic:serdes(Checkpoint, WriteCheckpoint, ReadCheckpoint): resume-file contract; every field must survive a write/read cycle
+// wsnstatic:serdes(CheckpointMeta, WriteCheckpoint, ReadCheckpoint): sweep-identity header; a dropped field silently resumes the wrong sweep
+// wsnstatic:serdes(CheckpointRow, WriteCheckpoint, ReadCheckpoint): per-config result row; a dropped field loses completed work on resume
 void WriteCheckpoint(const std::string& path, const Checkpoint& checkpoint) {
   std::string body;
   body.reserve(256 + checkpoint.rows.size() * 192);

@@ -109,18 +109,21 @@ class LinkLayer {
   mac::Mac& mac_;
   TransmitQueue queue_;
   PacketLog log_;
+  // wsnstatic:transient(on_delivery_): caller-supplied callback wiring fixed at construction; not simulation state
   DeliveryCallback on_delivery_;
 
   // Index into log_.Packets() for each unfinished packet id. Live entries
   // are bounded by the queue capacity (queued + in-service packets), so a
   // flat array with linear lookup beats a hash map on the packet hot path.
   using OpenRecord = std::pair<std::uint64_t, std::size_t>;
+  // wsnstatic:transient(own_open_records_): default backing store; live state sits behind open_records_, which Save/Restore round-trip
   std::vector<OpenRecord> own_open_records_;
   std::vector<OpenRecord>* open_records_;  // &own_open_records_ or external
   [[nodiscard]] OpenRecord* FindOpen(std::uint64_t packet_id) noexcept;
   std::uint64_t in_service_id_ = 0;
 
   // Observability (null = off).
+  // wsnstatic:transient(tracer_, counters_, node_, id_accepted_, id_queue_drops_, id_served_, id_completed_, id_acked_, id_deliveries_): trace wiring fixed at attach time; counter rollback is handled by the caller, not the snapshot
   trace::Tracer* tracer_ = nullptr;
   trace::CounterRegistry* counters_ = nullptr;
   std::int32_t node_ = 0;

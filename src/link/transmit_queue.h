@@ -106,7 +106,9 @@ class TransmitQueue {
   }
 
  private:
+  // wsnstatic:transient(capacity_): queue bound fixed at construction; never mutated during a run
   int capacity_;
+  // wsnstatic:transient(own_storage_): default backing store; live state sits behind ring_, which Save/Restore round-trip
   std::vector<QueuedPacket> own_storage_;
   std::vector<QueuedPacket>* ring_;  // &own_storage_ or caller-owned
   std::size_t head_ = 0;             // oldest waiting packet
@@ -114,6 +116,7 @@ class TransmitQueue {
   bool in_service_ = false;
   std::uint64_t drops_ = 0;
   std::uint64_t accepted_ = 0;
+  // wsnstatic:transient(counters_, id_accepted_, id_drops_): trace wiring fixed at attach time; counter rollback is handled by the caller, not the snapshot
   trace::CounterRegistry* counters_ = nullptr;
   trace::CounterRegistry::Id id_accepted_ = 0;
   trace::CounterRegistry::Id id_drops_ = 0;

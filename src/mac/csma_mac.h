@@ -110,8 +110,10 @@ class CsmaMac final : public Mac {
 
   sim::Simulator& sim_;
   channel::Channel& channel_;
+  // wsnstatic:transient(params_): MAC configuration fixed at construction; never mutated during a run
   MacParams params_;
   util::Rng rng_;
+  // wsnstatic:transient(on_delivery_, on_attempt_): caller-supplied callback wiring fixed at construction; not simulation state
   DeliveryCallback on_delivery_;
   AttemptCallback on_attempt_;
 
@@ -131,6 +133,7 @@ class CsmaMac final : public Mac {
   std::uint64_t cca_busy_ = 0;
 
   // Observability (null = off).
+  // wsnstatic:transient(tracer_, counters_, node_, id_sends_, id_tx_attempts_, id_cca_busy_, id_frames_decoded_, id_acks_received_, id_bytes_radiated_): trace wiring fixed at attach time; counter rollback is handled by the caller, not the snapshot
   trace::Tracer* tracer_ = nullptr;
   trace::CounterRegistry* counters_ = nullptr;
   std::int32_t node_ = 0;

@@ -137,12 +137,15 @@ class LplMac final : public Mac {
 
   sim::Simulator& sim_;
   channel::Channel& channel_;
+  // wsnstatic:transient(params_): MAC configuration fixed at construction; never mutated during a run
   LplParams params_;
   util::Rng rng_;
+  // wsnstatic:transient(on_delivery_, on_attempt_): caller-supplied callback wiring fixed at construction; not simulation state
   DeliveryCallback on_delivery_;
   AttemptCallback on_attempt_;
 
   // Receiver wake schedule: wakes at phase_ + k * wakeup_interval.
+  // wsnstatic:transient(phase_): drawn once in the constructor; constant for the node's lifetime
   sim::Duration phase_ = 0;
 
   // In-flight state.
@@ -163,6 +166,7 @@ class LplMac final : public Mac {
   std::uint64_t cca_busy_ = 0;
 
   // Observability (null = off).
+  // wsnstatic:transient(tracer_, counters_, node_, id_sends_, id_trains_, id_cca_busy_, id_copies_, id_frames_decoded_, id_acks_received_, id_bytes_radiated_): trace wiring fixed at attach time; counter rollback is handled by the caller, not the snapshot
   trace::Tracer* tracer_ = nullptr;
   trace::CounterRegistry* counters_ = nullptr;
   std::int32_t node_ = 0;

@@ -121,6 +121,7 @@ std::uint64_t ResultCache::Evictions() const {
   return evictions_;
 }
 
+// wsnstatic:serdes(ResultCache, Save, Load): persistent-cache contract; every persisted field must survive a save/load cycle
 void ResultCache::Save(const std::string& path) const {
   std::string body;
   {

@@ -127,7 +127,9 @@ class ResultCache {
   mutable std::mutex mutex_;
   std::map<std::string, std::string> entries_;
   /// Keys in insertion order, oldest first; rebuilt (in key order) by Load.
+  // wsnstatic:transient(insertion_order_): not persisted; Load re-anchors it to the file's key order, which Save guarantees by serializing in key order
   std::deque<std::string> insertion_order_;
+  // wsnstatic:transient(evictions_): process-lifetime telemetry, deliberately reset by a reload
   std::uint64_t evictions_ = 0;
 };
 

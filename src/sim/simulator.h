@@ -225,10 +225,12 @@ class Simulator {
   std::vector<std::uint64_t> lane_seq_ = {0};  // per-lane key counters
   std::uint32_t current_lane_ = 0;
   std::uint64_t executed_ = 0;
+  // wsnstatic:transient(slots_, free_head_): pool storage; RestoreState rebuilds both through ReleaseSlot/InsertWithKey from the saved event images
   std::vector<Slot> slots_;      // event pool (grows to peak queue depth)
   std::vector<HeapEntry> heap_;  // binary heap over (time, seq)
   std::uint32_t free_head_ = kNoSlot;
 
+  // wsnstatic:transient(counters_, id_scheduled_, id_executed_, id_cancelled_): trace wiring fixed at attach time; rollback leaves trace attachment untouched by contract
   trace::CounterRegistry* counters_ = nullptr;
   trace::CounterRegistry::Id id_scheduled_ = 0;
   trace::CounterRegistry::Id id_executed_ = 0;

@@ -13,6 +13,7 @@ std::string_view InternCounterName(std::string_view name) {
   // survive every later insertion. Function-local statics keep the table
   // alive for the whole process; registries and samples are destroyed
   // earlier, so their views never dangle.
+  // wsnstatic:allow(lp-isolation): the intern table is append-only and mutex-guarded; interned views are immutable, so rollback never observes a change
   static std::mutex mutex;
   static std::set<std::string, std::less<>> table;
   const std::lock_guard<std::mutex> lock(mutex);

@@ -100,6 +100,7 @@ std::uint64_t FaultInjector::Injected(std::string_view site) const {
 }
 
 FaultInjector& FaultInjector::Global() {
+  // wsnstatic:allow(lp-isolation): test-only fault-injection registry, mutex-guarded; disabled (empty) in production runs
   static FaultInjector injector;
   return injector;
 }

@@ -24,7 +24,7 @@ namespace {
 using wsnlint::ApplyFixes;
 using wsnlint::CheckSource;
 using wsnlint::Finding;
-using wsnlint::FormatFindings;
+using analysis::FormatFindings;
 
 std::string ReadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);

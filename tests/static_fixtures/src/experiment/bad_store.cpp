@@ -1,0 +1,27 @@
+// Fixture: serdes-completeness violations. `count` is written but never
+// read back; `label` appears in neither function.
+#include <string>
+
+namespace fixture {
+
+struct StoreMeta {
+  long seed = 0;
+  int count = 0;
+  std::string label;
+};
+
+// wsnstatic:serdes(StoreMeta, WriteStore, ReadStore): fixture persistence contract
+std::string WriteStore(const StoreMeta& meta) {
+  std::string body;
+  body += "seed " + std::to_string(meta.seed) + "\n";
+  body += "count " + std::to_string(meta.count) + "\n";
+  return body;
+}
+
+StoreMeta ReadStore(const std::string& body) {
+  StoreMeta meta;
+  meta.seed = static_cast<long>(body.size());
+  return meta;
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: a serdes-complete struct. Both persisted fields survive the
+// write/read cycle; the derived field carries a justified transient.
+#include <string>
+
+namespace fixture {
+
+struct CleanMeta {
+  long seed = 0;
+  int count = 0;
+  // wsnstatic:transient(digest): derived from seed and count on load
+  unsigned digest = 0;
+};
+
+// wsnstatic:serdes(CleanMeta, WriteCleanStore, ReadCleanStore): fixture persistence contract
+std::string WriteCleanStore(const CleanMeta& meta) {
+  std::string body;
+  body += "seed " + std::to_string(meta.seed) + "\n";
+  body += "count " + std::to_string(meta.count) + "\n";
+  return body;
+}
+
+CleanMeta ReadCleanStore(const std::string& body) {
+  CleanMeta meta;
+  meta.seed = static_cast<long>(body.size());
+  meta.count = static_cast<int>(body.size() / 2);
+  return meta;
+}
+
+}  // namespace fixture

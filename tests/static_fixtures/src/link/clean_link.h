@@ -1,0 +1,11 @@
+// Fixture: downward include — link (level 4) including phy (level 2) is
+// the sanctioned direction and must produce nothing.
+#pragma once
+
+#include "phy/bad_radio.h"
+
+namespace fixture {
+
+int Frame(int payload);
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: layer-DAG violation — phy (level 2) must not include from
+// experiment (level 8).
+#pragma once
+
+#include "experiment/plan.h"
+
+namespace fixture {
+
+int Modulate(int symbol);
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: serve/ is itself an LP root; this mutable static carries a
+// justified allow, so nothing may be reported (and the allow is not stale).
+// wsnstatic:allow(lp-isolation): fixture — append-only, mutex-guarded registry
+
+namespace fixture {
+
+int CacheHits() {
+  static int hits = 0;
+  return ++hits;
+}
+
+}  // namespace fixture

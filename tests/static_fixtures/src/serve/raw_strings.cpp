@@ -1,0 +1,31 @@
+// Fixture: raw-string scanner regression. Every banned construct below
+// sits inside raw-string literals (bare R and u8R/uR/UR/LR prefixed), at
+// line starts a broken scanner would read as code. This file lives under
+// serve/ so it is an LP-isolation root; a correct scanner reports nothing.
+#include <string>
+
+namespace fixture {
+
+std::string Help() {
+  std::string text = R"(
+static int fake = 0;
+thread_local int spook = 1;
+)";
+  const char* extra = u8R"u8(
+static long ghost = 1;
+)u8";
+  const char16_t* wide = uR"(
+static double haunt = 2.0;
+)";
+  const char32_t* wider = UR"(
+static float shade = 3.0f;
+)";
+  const wchar_t* widest = LR"(
+static char wisp = 'x';
+)";
+  text += extra[0];
+  return text + static_cast<char>(wide[0] + wider[0]) +
+         static_cast<char>(widest[0]);
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: allow-directive abuse — unknown rule id, missing justification,
+// and a justified allow that suppresses nothing (stale).
+// wsnstatic:allow(no-such-rule): misspelt rule ids must be reported
+// wsnstatic:allow(layer-dag)
+// wsnstatic:allow(lp-isolation): nothing in this file trips the rule
+
+namespace fixture {
+
+int Answer() { return 42; }
+
+}  // namespace fixture

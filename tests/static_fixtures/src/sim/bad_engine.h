@@ -1,0 +1,29 @@
+// Fixture: snapshot-completeness violations. `dropped_` is saved but never
+// restored; `forgotten_` appears in neither body. Both must be flagged.
+#pragma once
+
+namespace fixture {
+
+class BadEngine {
+ public:
+  struct State {
+    int ticks;
+    int dropped;
+  };
+
+  void SaveState(State& out) const {
+    out.ticks = ticks_;
+    out.dropped = dropped_;
+  }
+
+  void RestoreState(const State& state) {
+    ticks_ = state.ticks;
+  }
+
+ private:
+  int ticks_ = 0;
+  int dropped_ = 0;
+  int forgotten_ = 0;
+};
+
+}  // namespace fixture

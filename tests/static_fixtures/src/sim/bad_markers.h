@@ -1,0 +1,23 @@
+// Fixture: marker-directive abuse on an otherwise complete snapshot pair.
+// `cache_` is round-tripped, so its transient marker is stale; `ghost_`
+// names no member at all.
+#pragma once
+
+namespace fixture {
+
+class MarkedEngine {
+ public:
+  struct State {
+    int cache;
+  };
+
+  void SaveState(State& out) const { out.cache = cache_; }
+  void RestoreState(const State& state) { cache_ = state.cache; }
+
+ private:
+  // wsnstatic:transient(cache_): stale by construction — the member round-trips
+  int cache_ = 0;
+  // wsnstatic:transient(ghost_): names nothing in this file
+};
+
+}  // namespace fixture

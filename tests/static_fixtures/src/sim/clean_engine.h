@@ -1,0 +1,31 @@
+// Fixture: a snapshot-complete class. Every live member round-trips and
+// the construction-time wiring carries a justified transient marker.
+#pragma once
+
+namespace fixture {
+
+class CleanEngine {
+ public:
+  struct State {
+    int ticks;
+    long seed;
+  };
+
+  void SaveState(State& out) const {
+    out.ticks = ticks_;
+    out.seed = seed_;
+  }
+
+  void RestoreState(const State& state) {
+    ticks_ = state.ticks;
+    seed_ = state.seed;
+  }
+
+ private:
+  int ticks_ = 0;
+  long seed_ = 0;
+  // wsnstatic:transient(observer_): attach-time wiring, not simulation state
+  void* observer_ = nullptr;
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: heap allocation two calls below a hot root — must be flagged
+// as hot-path-transitive even though this file is not itself hot.
+#include <cstdlib>
+
+namespace fixture {
+
+char* AllocBuffer(unsigned bytes) {
+  return static_cast<char*>(std::malloc(bytes));
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: wall-clock read two calls below a hot root — must be flagged
+// as hot-path-transitive ambient entropy.
+#include <chrono>
+
+namespace fixture {
+
+long StampNow() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: one call below the hot root. Clean itself — it forwards into
+// the allocating helper, so the violation is two levels deep.
+
+namespace fixture {
+
+char* AllocBuffer(unsigned bytes);
+long StampNow();
+
+int FormatRow(int config) {
+  char* buffer = AllocBuffer(64);
+  buffer[0] = static_cast<char>(config);
+  const long stamp = StampNow();
+  return static_cast<int>(stamp) + buffer[0];
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: reachable from the hot root but allocation- and entropy-free —
+// must produce nothing.
+
+namespace fixture {
+
+int PureMix(int value) {
+  return value * 2654435761u % 4096;
+}
+
+}  // namespace fixture

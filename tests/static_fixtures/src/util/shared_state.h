@@ -1,0 +1,9 @@
+// Fixture: header pulled in by the LP root; its implementation file holds
+// the offending static.
+#pragma once
+
+namespace fixture {
+
+int SharedBump(int step);
+
+}  // namespace fixture

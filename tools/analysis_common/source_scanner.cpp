@@ -3,11 +3,36 @@
 #include <cctype>
 #include <cstddef>
 
-namespace wsnlint {
+namespace analysis {
 namespace {
 
 bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True when the raw-string 'R' at `pos` carries one of the encoding
+// prefixes (u8R, uR, UR, LR) rather than being the tail of an ordinary
+// identifier like FooBaR. Returns the index of the prefix's first char in
+// `prefix_start` so the caller can blank the whole token.
+bool RawStringPrefixAt(const std::string& content, std::size_t pos,
+                       std::size_t& prefix_start) {
+  prefix_start = pos;
+  if (pos == 0) return true;  // bare R" at start of file
+  const char before = content[pos - 1];
+  if (!IsIdentChar(before)) return true;  // bare R"
+  // u8R"
+  if (before == '8' && pos >= 2 && content[pos - 2] == 'u' &&
+      (pos == 2 || !IsIdentChar(content[pos - 3]))) {
+    prefix_start = pos - 2;
+    return true;
+  }
+  // uR" / UR" / LR"
+  if ((before == 'u' || before == 'U' || before == 'L') &&
+      (pos == 1 || !IsIdentChar(content[pos - 2]))) {
+    prefix_start = pos - 1;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -61,6 +86,7 @@ ScanResult ScanSource(const std::string& content) {
 
     switch (state) {
       case State::kCode: {
+        std::size_t prefix_start = 0;
         if (!line_seen_code && !std::isspace(static_cast<unsigned char>(c))) {
           line_seen_code = true;
           line_is_preprocessor = (c == '#');
@@ -78,20 +104,24 @@ ScanResult ScanSource(const std::string& content) {
           code[i + 1] = ' ';
           ++i;
         } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !IsIdentChar(content[i - 1]))) {
-          // R"delim( ... )delim"
+                   RawStringPrefixAt(content, i, prefix_start)) {
+          // [prefix]R"delim( ... )delim" — delimiters are at most 16 chars
+          // and never contain parens, spaces or newlines; stop the scan at
+          // any of those so malformed source cannot desynchronise lines.
           raw_delim.clear();
           std::size_t j = i + 2;
-          while (j < content.size() && content[j] != '(') {
+          while (j < content.size() && content[j] != '(' &&
+                 content[j] != '\n' && content[j] != ' ' &&
+                 raw_delim.size() < 16) {
             raw_delim += content[j];
             ++j;
           }
-          state = State::kRawString;
-          for (std::size_t k = i; k < j && k < content.size(); ++k) {
-            code[k] = ' ';
+          if (j < content.size() && content[j] == '(') {
+            state = State::kRawString;
+            for (std::size_t k = prefix_start; k <= j; ++k) code[k] = ' ';
+            i = j;  // positioned at '(' (loop ++ moves past it)
           }
-          if (j < content.size()) code[j] = ' ';
-          i = j;  // positioned at '(' (loop ++ moves past it)
+          // No '(' found: not a raw string after all; leave it as code.
         } else if (c == '"') {
           if (!line_is_preprocessor) {
             state = State::kString;
@@ -157,10 +187,7 @@ ScanResult ScanSource(const std::string& content) {
             content[i + 1 + raw_delim.size()] == '"') {
           const std::size_t end = i + 1 + raw_delim.size();
           for (std::size_t k = i; k <= end; ++k) code[k] = ' ';
-          // Raw strings may span lines; recount the ones we skipped over.
-          for (std::size_t k = i; k <= end; ++k) {
-            if (content[k] == '\n') ++line;
-          }
+          // The close marker never spans lines (delimiters exclude '\n').
           i = end;
           state = State::kCode;
         } else if (c != '\n') {
@@ -191,4 +218,4 @@ std::vector<std::string> SplitLines(const std::string& text) {
   return lines;
 }
 
-}  // namespace wsnlint
+}  // namespace analysis

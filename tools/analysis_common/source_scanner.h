@@ -1,19 +1,22 @@
-// Lexical pre-pass for wsnlint: turns a C++ source file into a "code view"
-// where comment and string-literal contents are blanked out (replaced by
-// spaces, preserving line/column positions) so the rule regexes never match
-// text inside comments or literals. Comments are collected separately so
-// the runner can parse `wsnlint:allow(...)` suppression directives.
+// Lexical pre-pass shared by the repo's static-analysis tools (wsnlint and
+// wsnstatic): turns a C++ source file into a "code view" where comment and
+// string-literal contents are blanked out (replaced by spaces, preserving
+// line/column positions) so rule regexes and the structural parser never
+// match text inside comments or literals. Comments are collected separately
+// so the tools can parse their marker directives (`wsnlint:allow(...)`,
+// `wsnstatic:transient(...)`, ...).
 //
 // This is a token-level scanner, not a parser: it understands //, /* */,
 // "..." with escapes, '...' char literals, digit separators (1'000'000),
-// and R"delim(...)delim" raw strings — enough to be exact about what is
-// code and what is not, which is all the rules need.
+// and raw strings R"delim(...)delim" including the encoding-prefixed forms
+// u8R/uR/UR/LR — enough to be exact about what is code and what is not,
+// which is all the rules need.
 #pragma once
 
 #include <string>
 #include <vector>
 
-namespace wsnlint {
+namespace analysis {
 
 /// One comment extracted from the source, with the 1-based line where it
 /// starts. Block comments spanning multiple lines appear once, at their
@@ -40,4 +43,4 @@ struct ScanResult {
 /// not produce an extra empty line.
 [[nodiscard]] std::vector<std::string> SplitLines(const std::string& text);
 
-}  // namespace wsnlint
+}  // namespace analysis

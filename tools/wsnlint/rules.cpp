@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <regex>
-#include <set>
-#include <sstream>
-#include <tuple>
+#include <utility>
 
 namespace wsnlint {
 namespace {
@@ -214,50 +212,6 @@ void CheckHotAlloc(const FileContext& ctx, std::vector<Finding>* out) {
   }
 }
 
-// --- allow directives -------------------------------------------------------
-
-struct AllowDirective {
-  int line = 0;
-  std::string rule;
-  bool has_reason = false;
-  bool used = false;
-};
-
-std::vector<AllowDirective> ParseAllows(const FileContext& ctx,
-                                        std::vector<Finding>* out) {
-  std::vector<AllowDirective> allows;
-  static const std::regex kAllow(
-      R"(wsnlint:allow\(\s*([A-Za-z0-9_, \-]+?)\s*\)\s*(:\s*(\S.*))?)");
-  for (const Comment& comment : ctx.scan.comments) {
-    for (auto it = std::sregex_iterator(comment.text.begin(),
-                                        comment.text.end(), kAllow);
-         it != std::sregex_iterator(); ++it) {
-      const std::string ids = (*it)[1].str();
-      const bool has_reason = (*it)[2].matched;
-      std::stringstream ss(ids);
-      std::string id;
-      while (std::getline(ss, id, ',')) {
-        const auto begin = id.find_first_not_of(' ');
-        const auto end = id.find_last_not_of(' ');
-        if (begin == std::string::npos) continue;
-        id = id.substr(begin, end - begin + 1);
-        if (!IsKnownRule(id)) {
-          out->push_back({ctx.path, comment.line, "allow-directive",
-                          "unknown rule id '" + id + "' in wsnlint:allow"});
-          continue;
-        }
-        if (!has_reason) {
-          out->push_back({ctx.path, comment.line, "allow-directive",
-                          "wsnlint:allow(" + id +
-                              ") needs a one-line justification after ':'"});
-        }
-        allows.push_back({comment.line, id, has_reason, false});
-      }
-    }
-  }
-  return allows;
-}
-
 }  // namespace
 
 bool FileContext::InDir(const std::string& prefix) const {
@@ -299,8 +253,9 @@ bool IsKnownRule(const std::string& id) {
 }
 
 std::vector<Finding> CheckFile(const FileContext& ctx) {
-  std::vector<Finding> directive_findings;
-  std::vector<AllowDirective> allows = ParseAllows(ctx, &directive_findings);
+  std::vector<Finding> kept;
+  std::vector<analysis::Allow> allows = analysis::ParseAllows(
+      "wsnlint", ctx.path, ctx.scan.comments, IsKnownRule, &kept);
 
   std::vector<Finding> raw;
   CheckWallclock(ctx, &raw);
@@ -311,24 +266,7 @@ std::vector<Finding> CheckFile(const FileContext& ctx) {
   CheckNakedNew(ctx, &raw);
   CheckHotAlloc(ctx, &raw);
 
-  std::vector<Finding> kept = std::move(directive_findings);
-  for (Finding& finding : raw) {
-    bool suppressed = false;
-    for (AllowDirective& allow : allows) {
-      if (allow.rule == finding.rule) {
-        allow.used = true;
-        suppressed = true;
-      }
-    }
-    if (!suppressed) kept.push_back(std::move(finding));
-  }
-  for (const AllowDirective& allow : allows) {
-    if (!allow.used && allow.has_reason) {
-      kept.push_back({ctx.path, allow.line, "allow-directive",
-                      "stale wsnlint:allow(" + allow.rule +
-                          "): it suppresses nothing; remove it"});
-    }
-  }
+  analysis::ApplyAllows("wsnlint", ctx.path, allows, std::move(raw), &kept);
   return kept;
 }
 
@@ -382,20 +320,6 @@ std::string ApplyFixes(const std::string& path, const std::string& content) {
   }
   if (insert_at >= raw_lines.size()) fixed += "#pragma once\n";
   return fixed;
-}
-
-std::string FormatFindings(std::vector<Finding> findings) {
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              return std::tie(a.file, a.line, a.rule, a.message) <
-                     std::tie(b.file, b.line, b.rule, b.message);
-            });
-  std::string out;
-  for (const Finding& f : findings) {
-    out += f.file + ":" + std::to_string(f.line) + ":" + f.rule + ": " +
-           f.message + "\n";
-  }
-  return out;
 }
 
 }  // namespace wsnlint

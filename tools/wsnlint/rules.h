@@ -16,18 +16,19 @@
 #include <string>
 #include <vector>
 
+#include "markers.h"
 #include "source_scanner.h"
 
 namespace wsnlint {
 
-/// One lint finding. `file` is the path as given to the linter (normally
-/// repo-relative), `line` is 1-based.
-struct Finding {
-  std::string file;
-  int line = 0;
-  std::string rule;  // rule id, e.g. "no-wallclock"
-  std::string message;
-};
+// The scanner and the finding/marker plumbing live in tools/analysis_common
+// (shared with wsnstatic); wsnlint re-exports the names it always had so the
+// rule code and tests read unchanged.
+using analysis::Comment;
+using analysis::ScanResult;
+using analysis::ScanSource;
+using analysis::SplitLines;
+using Finding = analysis::Finding;
 
 /// Everything a rule needs to inspect one file.
 struct FileContext {
@@ -68,8 +69,7 @@ struct RuleInfo {
 [[nodiscard]] std::string ApplyFixes(const std::string& path,
                                      const std::string& content);
 
-/// Formats findings one per line as `file:line:rule-id: message`, sorted by
-/// (file, line, rule). Byte-stable: this is what the golden test compares.
-[[nodiscard]] std::string FormatFindings(std::vector<Finding> findings);
+// Findings format via analysis::FormatFindings (tools/analysis_common),
+// shared with wsnstatic so both goldens compare the same byte format.
 
 }  // namespace wsnlint

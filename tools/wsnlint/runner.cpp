@@ -33,8 +33,9 @@ std::string RelativePath(const fs::path& path, const fs::path& root) {
 
 bool IsExcluded(const std::string& relative_path) {
   static const std::vector<std::string> kExcludedParts = {
-      "lint_fixtures",  // violation corpus for the lint golden test
-      "golden",         // checked-in expected outputs, not code
+      "lint_fixtures",    // violation corpus for the lint golden test
+      "static_fixtures",  // violation corpus for the wsnstatic golden test
+      "golden",           // checked-in expected outputs, not code
       ".git",
   };
   for (const std::string& part : kExcludedParts) {

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
 
   try {
     const wsnlint::RunResult result = wsnlint::Run(options);
-    const std::string report = wsnlint::FormatFindings(result.findings);
+    const std::string report = analysis::FormatFindings(result.findings);
     std::fputs(report.c_str(), stdout);
     if (options.fix && result.files_fixed > 0) {
       std::fprintf(stderr, "wsnlint: fixed %d file(s)\n", result.files_fixed);

@@ -1,0 +1,47 @@
+// Filesystem driver for wsnstatic: walks the requested directories, builds
+// the cross-TU Index, and runs the rule families. Kept separate from
+// checks.cpp so tests can analyze in-memory file sets without touching
+// disk and so the CLI stays a thin shell.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "checks.h"
+#include "index.h"
+
+namespace wsnstatic {
+
+struct Options {
+  // Directory all reported paths are made relative to (and that `paths`
+  // are resolved against). Defaults to the current working directory.
+  std::string root = ".";
+  // Files or directories to analyze, relative to `root`. Directories are
+  // walked recursively for .h/.cpp/.cc files. Empty means the default
+  // scan set: src (cross-TU analysis needs the whole tree at once, so the
+  // default is the full simulator source).
+  std::vector<std::string> paths;
+};
+
+struct RunResult {
+  std::vector<analysis::Finding> findings;
+  int files_scanned = 0;
+  // Sorted marker inventory (wsnstatic:* plus wsnlint:allow/hot-path),
+  // one per line with reasons — CI publishes this as the review artifact.
+  std::string inventory;
+};
+
+/// True if `relative_path` is excluded from scanning (fixture corpora,
+/// golden files, build trees, version-control internals).
+[[nodiscard]] bool IsExcluded(const std::string& relative_path);
+
+/// Analyzes an in-memory file set (exposed for tests/mutation drills).
+[[nodiscard]] RunResult Check(
+    std::vector<std::pair<std::string, std::string>> sources);
+
+/// Walks the filesystem and analyzes every matching file.
+/// Throws std::runtime_error when a requested path does not exist.
+[[nodiscard]] RunResult Run(const Options& options);
+
+}  // namespace wsnstatic
